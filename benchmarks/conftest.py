@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment (a table/figure/claim from
+DESIGN.md §3), prints its rows — the rows recorded in EXPERIMENTS.md —
+and asserts the claim's *shape* (who wins, roughly by how much, where
+crossovers fall). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.metrics.tables import ResultTable
+
+
+def emit(tables: Union[ResultTable, Iterable[ResultTable]]) -> None:
+    """Print one or more result tables (visible with pytest -s)."""
+    if isinstance(tables, ResultTable):
+        tables = [tables]
+    for table in tables:
+        print()
+        print(table.render())
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a macro-experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Bench E10 — SAS vs federated vs blockchain registries (§4.3)."""
+
+from conftest import emit, once
+
+from repro.experiments import e10_registries
+
+
+def test_e10_registry_latencies(benchmark):
+    table = once(benchmark, e10_registries.run)
+    emit(table)
+    rows = {row["registry"]: row for row in table.rows}
+    sas = rows["SAS (centralized)"]
+    fed = rows["federated (DNS-like)"]
+    chain = rows["blockchain (PoW)"]
+    # everyone eventually joins
+    assert sas["joined"] == fed["joined"] == chain["joined"]
+    # join latency: SAS < federated << blockchain (orders of magnitude)
+    assert sas["join_mean_s"] < fed["join_mean_s"]
+    assert chain["join_mean_s"] > 50 * fed["join_mean_s"]
+    # blockchain reads are local: discovery is effectively free
+    assert chain["discover_mean_ms"] < 1.0
+    assert sas["discover_mean_ms"] > 10.0
+
+
+def test_e10_service_continuity(benchmark):
+    """CBRS leases turn a SAS outage into an air-interface outage."""
+    table = once(benchmark, e10_registries.service_continuity_under_outage)
+    emit(table)
+    rows = {row["registry"]: row for row in table.rows}
+    sas = rows["SAS (CBRS leases)"]
+    assert sas["aps_running_before"] == 10
+    assert sas["aps_running_after"] == 0        # everyone silenced
+    # silence arrives within one lease of the outage, not instantly
+    assert 0 < sas["mean_time_to_silence_s"] <= 60.0
+    for name in ("federated (perpetual grants)",
+                 "blockchain (perpetual grants)"):
+        assert rows[name]["aps_running_after"] == 10
+
+
+def test_e10_availability_under_failure(benchmark):
+    table = once(benchmark, e10_registries.availability_under_failure)
+    emit(table)
+    rows = {row["registry"]: row for row in table.rows}
+    # the availability ordering inverts the latency ordering
+    assert (rows["blockchain (PoW)"]["availability_pct"]
+            > rows["federated (DNS-like)"]["availability_pct"]
+            > rows["SAS (centralized)"]["availability_pct"])
+    assert rows["blockchain (PoW)"]["availability_pct"] == 100.0
+    assert rows["SAS (centralized)"]["availability_pct"] < 60.0
+    assert rows["federated (DNS-like)"]["availability_pct"] > 80.0

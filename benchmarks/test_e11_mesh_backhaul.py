@@ -1,0 +1,34 @@
+"""Bench E11 — multi-hop backhaul sharing (§7 future work)."""
+
+from conftest import emit, once
+
+from repro.experiments import e11_mesh_backhaul
+
+
+def test_e11_mesh_redundancy(benchmark):
+    table = once(benchmark, e11_mesh_backhaul.run)
+    emit(table)
+    # with the mesh, every site stays reachable until the last uplink dies
+    for row in table.rows[:-1]:
+        assert row["meshed_reachable_pct"] == 100.0
+    # without it, reachability tracks surviving uplinks exactly
+    for row in table.rows:
+        expected = 100.0 * (6 - row["failed_uplinks"]) / 6
+        assert abs(row["isolated_reachable_pct"] - expected) < 1e-6
+    # capacity degrades identically (the mesh shares, it does not mint)
+    for row in table.rows:
+        assert row["meshed_capacity_mbps"] == row["isolated_capacity_mbps"]
+
+
+def test_e11_aggregation_gain(benchmark):
+    single, aggregate = once(benchmark, e11_mesh_backhaul.aggregation_gain)
+    print(f"\nE11 aggregation: single uplink {single/1e6:g} Mbps, "
+          f"meshed pool {aggregate/1e6:g} Mbps")
+    assert aggregate == 4 * single
+
+
+def test_e11_mesh_links_are_fast(benchmark):
+    rate = once(benchmark, e11_mesh_backhaul.mesh_link_rate_bps, 3000.0)
+    print(f"\nE11 AP-to-AP mesh link at 3 km: {rate/1e6:.1f} Mbps")
+    # elevated fixed radios sustain a useful backhaul-grade rate
+    assert rate > 20e6

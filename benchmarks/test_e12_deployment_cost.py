@@ -1,0 +1,35 @@
+"""Bench E12 — deployment economics of the §5 Papua-style site."""
+
+from conftest import emit, once
+
+from repro.experiments import e12_deployment_cost
+
+
+def test_e12_bom_under_paper_budget(benchmark):
+    table = once(benchmark, e12_deployment_cost.bom_table)
+    emit(table)
+    total = table.rows[-1]["total_usd"]
+    # the paper's headline number: "less than $8000 in materials"
+    assert total < e12_deployment_cost.PAPER_BUDGET_USD
+    assert e12_deployment_cost.under_paper_budget()
+    # and it genuinely includes the two sectors + EPC computer + cabling
+    items = " | ".join(str(row["item"]) for row in table.rows)
+    assert "eNodeB" in items and "EPC computer" in items
+
+
+def test_e12_town_coverage_costs(benchmark):
+    table = once(benchmark, e12_deployment_cost.run)
+    emit(table)
+    rows = {row["technology"]: row for row in table.rows}
+    dlte = rows["dLTE (band 5)"]
+    wifi = rows["WiFi (2.4 GHz)"]
+    femto = rows["carrier femtocell"]
+    # one dLTE site covers the whole area; WiFi needs a farm of sites
+    assert dlte["sites_needed"] == 1
+    assert wifi["sites_needed"] >= 4
+    # coverage per dollar: dLTE dominates by more than an order of
+    # magnitude, femtocells are hopeless for area coverage
+    assert dlte["km2_per_kusd"] > 10 * wifi["km2_per_kusd"]
+    assert wifi["km2_per_kusd"] > 10 * femto["km2_per_kusd"]
+    # the recurring carrier fee makes femtocells even worse over 5 years
+    assert femto["five_year_usd"] > 5 * femto["town_capex_usd"]

@@ -1,0 +1,25 @@
+"""Bench E13 — idle-mode wake-up: TA paging vs dLTE's no-mobility-management."""
+
+from conftest import emit, once
+
+from repro.experiments import e13_idle_paging
+
+
+def test_e13_idle_paging(benchmark):
+    table = once(benchmark, e13_idle_paging.run)
+    emit(table)
+    carrier_rows = [row for row in table.rows
+                    if row["architecture"].startswith("carrier")]
+    dlte = [row for row in table.rows
+            if row["architecture"].startswith("dLTE")][0]
+    # paging fan-out is linear in fleet size (the TA broadcast)
+    for row in carrier_rows:
+        assert row["paging_messages"] == row["n_sites"]
+    # dLTE sends zero pages and wakes >4x faster
+    assert dlte["paging_messages"] == 0
+    for row in carrier_rows:
+        assert dlte["wake_latency_ms"] < row["wake_latency_ms"] / 4
+    # carrier wake latency is dominated by backhaul RTTs, constant in
+    # fleet size — the fan-out costs messages, not (directly) time
+    latencies = [row["wake_latency_ms"] for row in carrier_rows]
+    assert max(latencies) - min(latencies) < 5.0

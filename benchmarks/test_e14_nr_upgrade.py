@@ -1,0 +1,50 @@
+"""Bench E14 — the 5G-NR upgrade path for dLTE (§7 future work)."""
+
+from conftest import emit, once
+
+from repro.experiments import e14_nr_upgrade
+
+
+def test_e14_rate_vs_distance(benchmark):
+    table = once(benchmark, e14_nr_upgrade.run)
+    emit(table)
+    rows = {row["arm"]: row for row in table.rows}
+    lte = rows["LTE band 5 (10 MHz)"]
+    n28 = rows["NR n28 (20 MHz)"]
+    n78 = rows["NR n78 (100 MHz, no BF)"]
+    n78bf = rows["NR n78 + 64-el beamforming"]
+    # the like-for-like upgrade: n28 doubles LTE where SINR is plentiful,
+    # and still wins at the edge (where its doubled noise bandwidth eats
+    # part of the channel-width gain)
+    for col in ("d250m", "d4000m"):
+        assert n28[col] >= 2 * lte[col] * 0.9
+    assert n28["d16000m"] > 1.4 * lte["d16000m"]
+    # raw mid-band dies where the coverage layers still deliver
+    assert n78["d16000m"] == 0.0
+    assert lte["d16000m"] > 0 and n28["d16000m"] > 0
+    # beamforming is what rescues mid-band at range
+    assert n78bf["d16000m"] > 100.0
+    # near the mast, the 100 MHz channel is an order of magnitude up
+    assert n78bf["d250m"] > 10 * lte["d250m"]
+
+
+def test_e14_latency_ladder(benchmark):
+    table = once(benchmark, e14_nr_upgrade.latency_ladder)
+    emit(table)
+    latencies = table.column("air_latency_ms")
+    # LTE == mu0, then halving per numerology step
+    assert latencies[0] == latencies[1] == 4.0
+    for a, b in zip(latencies[1:], latencies[2:]):
+        assert b == a / 2
+
+
+def test_e14_range_summary(benchmark):
+    table = once(benchmark, e14_nr_upgrade.range_summary)
+    emit(table)
+    usable = {row["arm"]: row["usable_km"] for row in table.rows}
+    # beamforming triples raw mid-band reach
+    assert (usable["NR n78 + 64-el beamforming"]
+            > 3 * usable["NR n78 (100 MHz, no BF)"])
+    # the sub-GHz layers remain the kings of area coverage
+    assert usable["LTE band 5 (10 MHz)"] > 50
+    assert usable["NR n28 (20 MHz)"] > 50

@@ -1,0 +1,21 @@
+"""Bench E15 — public addressing vs NAT: who can host a service (§4.2)."""
+
+from conftest import emit, once
+
+from repro.experiments import e15_reachability
+
+
+def test_e15_reachability(benchmark):
+    table = once(benchmark, e15_reachability.run)
+    emit(table)
+    rows = {row["arm"]: row for row in table.rows}
+    dlte = rows["dLTE (public address)"]
+    nat = rows["NATed hotspot"]
+    # both can dial out...
+    assert dlte["outbound_ok"] == "yes"
+    assert nat["outbound_ok"] == "yes"
+    # ...but only the publicly-addressed client can be dialed
+    assert dlte["inbound_ok"] == "yes"
+    assert nat["inbound_ok"] == "no"
+    assert nat["nat_unsolicited_drops"] >= 1
+    assert dlte["nat_unsolicited_drops"] == 0

@@ -1,0 +1,34 @@
+"""Bench E3 — coverage/range per band (§3.2 "Spectrum Bands")."""
+
+from conftest import emit, once
+
+from repro.experiments import e3_range
+
+
+def test_e3_rate_vs_distance(benchmark):
+    table = once(benchmark, e3_range.run)
+    emit(table)
+    by_band = {row["band"]: row for row in table.rows}
+    # at 8 km, band 5 is going strong while WiFi is stone dead
+    assert by_band["lte5"]["d8000m"] > 10.0
+    assert by_band["wifi2g4"]["d8000m"] == 0.0
+    assert by_band["wifi5g"]["d8000m"] == 0.0
+    # WiFi dies from MAC timing by 4 km even where SNR might survive
+    assert by_band["wifi2g4"]["d4000m"] == 0.0
+    # sub-GHz LTE outlives mid-band LTE at long range
+    assert by_band["lte5"]["d30000m"] > by_band["lte48cbrs"]["d30000m"]
+    assert by_band["lte31"]["d30000m"] > 0.0
+    # near the AP, wider channels win (the rural tradeoff cuts both ways)
+    assert by_band["lte3"]["d250m"] > by_band["lte5"]["d250m"]
+
+
+def test_e3_range_summary(benchmark):
+    table = once(benchmark, e3_range.range_summary)
+    emit(table)
+    usable = {row["band"]: row["usable_km"] for row in table.rows}
+    # the paper's headline ordering
+    assert usable["lte5"] > 10 * usable["wifi2g4"]
+    assert usable["lte31"] >= usable["lte5"] * 0.8  # 450 MHz at least as far
+    assert usable["wifi2g4"] <= 2.7  # ACK-timing ceiling
+    # one band-5 site covers a whole town (the §5 deployment)
+    assert usable["lte5"] > 5.0

@@ -1,0 +1,41 @@
+"""Bench E4 — weak-signal goodput: SC-FDMA + HARQ vs WiFi (§3.2)."""
+
+from conftest import emit, once
+
+from repro.experiments import e4_weak_signal
+
+
+def test_e4_goodput_vs_sinr(benchmark):
+    table = once(benchmark, e4_weak_signal.run)
+    emit(table)
+    rows = {row["channel_sinr_db"]: row for row in table.rows}
+    # below WiFi's floor, LTE still delivers
+    assert rows[-4]["wifi"] == 0.0
+    assert rows[-4]["lte_harq"] > 0.1
+    # HARQ combining beats plain ARQ in the weak region
+    assert rows[-10]["lte_harq"] > rows[-10]["lte_plain_arq"]
+    assert rows[-6]["lte_harq"] > rows[-6]["lte_plain_arq"]
+    # at strong SINR everyone converges to their table peaks; LTE's
+    # 64QAM table beats 802.11n single-stream throughout
+    assert rows[20]["lte_harq"] > rows[20]["wifi"]
+    # monotone non-decreasing goodput with SINR for every arm
+    for col in ("lte_harq", "lte_plain_arq", "wifi"):
+        values = [row[col] for row in table.rows]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_e4_link_death_floors(benchmark):
+    table = once(benchmark, e4_weak_signal.link_death_sinrs)
+    emit(table)
+    floors = {row["arm"]: row["dies_below_db"] for row in table.rows}
+    # the ladder: HARQ < plain ARQ < WiFi, with >10 dB total spread
+    assert floors["lte_harq"] < floors["lte_plain_arq"] < floors["wifi"]
+    assert floors["wifi"] - floors["lte_harq"] > 10.0
+
+
+def test_e4_harq_retx_ablation(benchmark):
+    table = once(benchmark, e4_weak_signal.harq_retx_ablation)
+    emit(table)
+    values = table.column("goodput_bps_hz")
+    # more retransmission budget helps at weak SINR, saturating
+    assert values[0] < values[2] <= values[-1] * 1.05

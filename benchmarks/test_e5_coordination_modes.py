@@ -1,0 +1,58 @@
+"""Bench E5 — the coordination-mode ladder (§4.3)."""
+
+from conftest import emit, once
+
+from repro.experiments import e5_coordination
+
+
+def test_e5_coordination_modes(benchmark):
+    table = once(benchmark, e5_coordination.run)
+    emit(table)
+    rows = {row["arm"]: row for row in table.rows}
+    wifi = rows["legacy WiFi (CSMA)"]
+    uncoord = rows["dLTE uncoordinated"]
+    fair = rows["dLTE fair-sharing"]
+    coop = rows["dLTE cooperative"]
+
+    # fair sharing achieves WiFi-like fairness...
+    assert abs(fair["jain_fairness"] - wifi["jain_fairness"]) < 0.15
+    # ...with more useful throughput (no contention losses)
+    assert fair["aggregate_mbps"] > wifi["aggregate_mbps"]
+    # uncoordinated reuse-1 crushes the cell edge
+    assert uncoord["min_ue_mbps"] < fair["min_ue_mbps"]
+    assert uncoord["jain_fairness"] < fair["jain_fairness"]
+    # cooperation beats plain fair sharing on fairness and the worst user
+    assert coop["jain_fairness"] > fair["jain_fairness"]
+    assert coop["min_ue_mbps"] > fair["min_ue_mbps"]
+    # the paper's headline: cooperative dLTE dominates legacy WiFi on
+    # every column
+    assert coop["aggregate_mbps"] > wifi["aggregate_mbps"]
+    assert coop["jain_fairness"] > wifi["jain_fairness"]
+    assert coop["min_ue_mbps"] > wifi["min_ue_mbps"]
+
+
+def test_e5_gbr_protection(benchmark):
+    """§4.3: QoS-aware joint scheduling holds a GBR bearer under load."""
+    table = once(benchmark, e5_coordination.gbr_protection)
+    emit(table)
+    for row in table.rows:
+        assert row["guarantee_held"] == "yes"
+        assert row["coop_video_mbps"] >= 3.0 * 0.95
+    # the plain-PF cell dilutes the video as bulk users pile in
+    pf = table.column("pf_video_mbps")
+    assert pf == sorted(pf, reverse=True)
+    assert pf[-1] < 1.5  # guarantee long gone without QoS scheduling
+
+
+def test_e5_scales_with_ap_count(benchmark):
+    """Ablation: the fair-sharing advantage persists as the domain grows."""
+    def sweep():
+        return [e5_coordination.run(n_aps=n, ue_per_ap=3, seed=2)
+                for n in (2, 6)]
+
+    tables = once(benchmark, sweep)
+    emit(tables)
+    for table in tables:
+        rows = {row["arm"]: row for row in table.rows}
+        assert (rows["dLTE fair-sharing"]["aggregate_mbps"]
+                > rows["legacy WiFi (CSMA)"]["aggregate_mbps"])

@@ -1,0 +1,27 @@
+"""Bench E7 — centralized EPC vs per-site stubs under attach storms (§4.1)."""
+
+from conftest import emit, once
+
+from repro.experiments import e7_core_scaling
+
+
+def test_e7_core_scaling(benchmark):
+    table = once(benchmark, e7_core_scaling.run)
+    emit(table)
+    central = [row for row in table.rows
+               if row["architecture"] == "centralized EPC"]
+    stubs = [row for row in table.rows if row["architecture"] == "dLTE stubs"]
+
+    # stubs: flat attach latency regardless of federation size
+    stub_means = [row["mean_attach_ms"] for row in stubs]
+    assert max(stub_means) - min(stub_means) < 5.0
+
+    # centralized: latency explodes once the shared MME saturates
+    central_means = [row["mean_attach_ms"] for row in central]
+    assert central_means[-1] > 5 * central_means[0]
+    assert central[-1]["core_peak_queue"] > 100
+    assert stubs[-1]["core_peak_queue"] < 5
+
+    # even unloaded, the stub attach is several times faster (no
+    # backhaul round trips in the control plane)
+    assert central_means[0] > 3 * stub_means[0]

@@ -1,0 +1,45 @@
+"""Bench E8 — hidden terminals: CSMA vs the license registry (§4.3)."""
+
+from conftest import emit, once
+
+from repro.experiments import e8_hidden_terminal
+
+
+def test_e8_hidden_terminal_field(benchmark):
+    table = once(benchmark, e8_hidden_terminal.run)
+    emit(table)
+    # the registry arm never collides and keeps its scheduled airtime
+    assert all(row["registry_collision_rate"] == 0.0 for row in table.rows)
+    assert all(row["registry_utilization"] > 0.9 for row in table.rows)
+    # CSMA degrades with density; at high density it collapses
+    collisions = table.column("csma_collision_rate")
+    assert collisions == sorted(collisions)
+    assert collisions[-1] > 0.5
+    utilizations = table.column("csma_utilization")
+    assert utilizations[-1] < 0.3
+    # hidden pairs grow with density
+    hidden = table.column("hidden_pairs")
+    assert hidden[-1] > hidden[0]
+
+
+def test_e8_sensing_ablation(benchmark):
+    """§6: cognitive-radio sensing sweep — sensitivity is not a database."""
+    table = once(benchmark, e8_hidden_terminal.sensing_ablation)
+    emit(table)
+    hiddens = table.column("hidden_pairs")
+    collisions = table.column("collision_rate")
+    # longer sensing range removes hidden pairs and collisions...
+    assert hiddens == sorted(hiddens, reverse=True)
+    assert collisions == sorted(collisions, reverse=True)
+    # ...but even the most sensitive config stays below the registry's
+    # scheduled utilization (exposed terminals serialize the area)
+    assert max(table.column("utilization")) < 0.9
+
+
+def test_e8_classic_triple(benchmark):
+    table = once(benchmark, e8_hidden_terminal.classic_three_node)
+    emit(table)
+    rows = {row["scenario"]: row for row in table.rows}
+    assert (rows["hidden"]["collision_rate"]
+            > 1.5 * rows["connected"]["collision_rate"])
+    assert rows["hidden"]["utilization"] < rows["connected"]["utilization"]

@@ -1,0 +1,38 @@
+"""Bench F1 — the Figure-1 user-plane path comparison."""
+
+from conftest import emit, once
+
+from repro.experiments import f1_path_comparison
+
+
+def test_f1_path_comparison(benchmark):
+    table = once(benchmark, f1_path_comparison.run)
+    emit(table)
+    dlte = table.rows[0]
+    carriers = table.rows[1:]
+    assert dlte["architecture"] == "dLTE"
+    # dLTE beats every carrier configuration on RTT and path length
+    for row in carriers:
+        assert dlte["rtt_ms"] < row["rtt_ms"]
+        assert dlte["hops"] < row["hops"]
+        assert dlte["attach_ms"] < row["attach_ms"]
+    # the carrier penalty grows with EPC distance; dLTE is independent of it
+    rtts = [row["rtt_ms"] for row in carriers]
+    assert rtts == sorted(rtts)
+    # each ms of EPC access delay costs ~4 ms of ping RTT (2 tunnel
+    # crossings each way)
+    slope = (carriers[-1]["rtt_ms"] - carriers[0]["rtt_ms"]) / (60.0 - 10.0)
+    assert 3.0 < slope < 5.0
+    # GTP overhead only on the carrier path
+    assert dlte["tunnel_overhead_B"] == 0
+    assert all(row["tunnel_overhead_B"] == 36 for row in carriers)
+
+
+def test_f1_local_breakout_ablation(benchmark):
+    table = once(benchmark, f1_path_comparison.local_breakout_ablation)
+    emit(table)
+    by_arch = {row["architecture"]: row for row in table.rows}
+    # an on-premises EPC nearly closes the latency gap (the penalty is
+    # the tunnel geometry, not the stub software)
+    assert by_arch["Private LTE"]["rtt_ms"] < by_arch["Telecom LTE"]["rtt_ms"] / 2
+    assert by_arch["dLTE"]["rtt_ms"] < by_arch["Private LTE"]["rtt_ms"]

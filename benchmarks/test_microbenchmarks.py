@@ -1,0 +1,92 @@
+"""Micro-benchmarks: the hot paths of the simulation substrate.
+
+Unlike the experiment benches (run-once macro results), these measure
+raw component throughput with pytest-benchmark's normal multi-round
+statistics — regressions here slow every experiment above.
+"""
+
+import numpy as np
+
+from repro.enodeb.cell import Cell, UeRadioContext
+from repro.geo import Point
+from repro.mac.csma import CsmaNode, CsmaSimulation
+from repro.mac.schedulers import ProportionalFairScheduler, SchedulableUser
+from repro.phy import LinkBudget, OkumuraHata, Radio, get_band
+from repro.simcore import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule+dispatch 10k timer events."""
+
+    def run():
+        sim = Simulator(0)
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Two processes ping-ponging through 2k timeouts."""
+
+    def run():
+        sim = Simulator(0)
+        count = [0]
+
+        def worker():
+            for _ in range(1000):
+                yield sim.timeout(0.001)
+                count[0] += 1
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 2000
+
+
+def test_pf_scheduler_tti_rate(benchmark):
+    """One PF TTI over 20 users and 100 PRBs."""
+    users = [SchedulableUser(f"u{i}", float(5 + i)) for i in range(20)]
+    prbs = frozenset(range(100))
+    sched = ProportionalFairScheduler()
+
+    def tti():
+        return sched.allocate(users, prbs)
+
+    grants = benchmark(tti)
+    assert sum(len(g) for g in grants.values()) == 100
+
+
+def test_cell_tti_rate(benchmark):
+    """A full cell TTI: link budgets + MCS + HARQ for 10 UEs."""
+    band = get_band("lte5")
+    budget = LinkBudget(OkumuraHata(environment="open"), band.dl_mhz,
+                        band.bandwidth_hz)
+    cell = Cell("bench", band, Point(0, 0), budget)
+    rng = np.random.default_rng(0)
+    for i in range(10):
+        cell.add_ue(UeRadioContext(
+            f"u{i}", Radio(Point(float(rng.uniform(100, 3000)),
+                                 float(rng.uniform(-500, 500))),
+                           tx_power_dbm=23)))
+
+    delivered = benchmark(cell.schedule_tti)
+    assert delivered
+
+
+def test_csma_slot_rate(benchmark):
+    """50k CSMA slots over a 6-node contention domain."""
+    ids = [f"s{i}" for i in range(6)]
+    everyone = frozenset(ids)
+
+    def run():
+        nodes = [CsmaNode(i, hears=everyone - {i}) for i in ids]
+        sim = CsmaSimulation(nodes, np.random.default_rng(1), frame_slots=50)
+        return sim.run(50_000)
+
+    result = benchmark(run)
+    assert result.total_delivered > 0

@@ -1,0 +1,17 @@
+"""Bench T1 — regenerate Table 1 (the design-space quadrants)."""
+
+from conftest import emit, once
+
+from repro.experiments import t1_design_space
+
+
+def test_t1_design_space(benchmark):
+    quadrants, matrix = once(benchmark, t1_design_space.run)
+    emit([quadrants, matrix])
+    # the paper's claim: dLTE alone fills the open-core/licensed quadrant
+    assert t1_design_space.dlte_quadrant_is_unique()
+    # and the closed/licensed cell holds the incumbents
+    closed_licensed = quadrants.rows[1]["closed_core"]
+    assert "Telecom LTE" in closed_licensed
+    assert "Private LTE" in closed_licensed
+    assert quadrants.rows[0]["open_core"] == "Legacy WiFi"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The §5 deployment, recreated: one dLTE site covering a Papua town.
+
+"We have deployed a standalone network in partnership with a rural
+school in Papua, Indonesia. … One site covers the entire town, and is
+deployed on the gym where power and backhaul were available. The
+deployment cost less than $8000 in materials."
+
+This script prices the bill of materials, checks the coverage radius
+against the town, brings the site up (license, stub, users with
+published e-SIM keys), and runs the data-only OTT workload the real
+deployment carries (web + WhatsApp-style messaging + video).
+
+Run:  python examples/papua_deployment.py
+"""
+
+from repro import DLTENetwork, RuralTown
+from repro.deploy import dlte_site_plan
+from repro.experiments.e3_range import max_usable_range
+from repro.workloads import CbrSource, VideoStreamSource, WebSessionSource
+
+
+def main() -> None:
+    # -- the economics (E12) ------------------------------------------------
+    plan = dlte_site_plan(sectors=2)
+    print("Site bill of materials:")
+    for item in plan.bom:
+        print(f"  {item.quantity} x {item.name}: ${item.total_usd:,.0f}")
+    print(f"  TOTAL: ${plan.capex_usd:,.0f} "
+          f"(paper: 'less than $8000 in materials')\n")
+
+    # -- the physics (E3) ------------------------------------------------------
+    reach_km = max_usable_range("lte5", True, 43.0, 15.0) / 1000.0
+    town = RuralTown(radius_m=1800, n_ues=30, n_aps=1, seed=7,
+                     backhaul_delay_s=0.040)  # rural ISP, one hop to a POP
+    print(f"Band 5 usable range from the gym roof: {reach_km:.1f} km; "
+          f"the town radius is {town.radius_m/1000:g} km -> one site "
+          f"covers everything.\n")
+
+    # -- the network -------------------------------------------------------------
+    network = DLTENetwork.build(town, band_name="lte5", seed=7)
+    report = network.run(duration_s=10.0)
+    print(report.summary())
+
+    # -- the data-only OTT workload (voice/messaging are apps, not telecom) ----
+    sim = network.sim
+    demand_bytes = {"web": 0, "messaging": 0, "video": 0}
+
+    def sink(kind):
+        def emit(n_bytes: int) -> None:
+            demand_bytes[kind] += n_bytes
+        return emit
+
+    sources = [
+        WebSessionSource(sim, sink("web"), mean_page_bytes=800_000,
+                         mean_think_s=20.0, name="web"),
+        CbrSource(sim, sink("messaging"), rate_bps=16_000, name="whatsapp"),
+        VideoStreamSource(sim, sink("video"), bitrate_bps=1.2e6,
+                          name="video"),
+    ]
+    for source in sources:
+        source.start()
+    sim.run(until=sim.now + 300.0)
+
+    print("\n5 minutes of OTT demand at the site:")
+    for kind, total in sorted(demand_bytes.items()):
+        print(f"  {kind}: {total/1e6:.1f} MB")
+    mean_mbps = report.mean_throughput_bps / 1e6
+    print(f"\nPer-user downlink averages {mean_mbps:.1f} Mbps — "
+          f"comfortable for a data-only town network with voice and "
+          f"messaging as over-the-top services.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: build a rural town, serve it four ways, compare.
+
+Builds the same town under all four architectures of the paper's
+Table 1 and prints each network's report: attach latency, per-user
+downlink, path to an Internet service, and control-plane cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CentralizedLTENetwork,
+    DLTENetwork,
+    PrivateLTENetwork,
+    RuralTown,
+    WiFiNetwork,
+)
+
+
+def main() -> None:
+    town = RuralTown(radius_m=1500, n_ues=16, n_aps=2, seed=42)
+    print(f"Scenario: a {town.radius_m/1000:g} km town, "
+          f"{town.n_ues} users, {town.n_aps} AP sites, "
+          f"{town.backhaul_delay_s*1e3:g} ms rural backhaul\n")
+
+    for architecture in (DLTENetwork, CentralizedLTENetwork,
+                         WiFiNetwork, PrivateLTENetwork):
+        network = architecture.build(town, seed=42)
+        report = network.run(duration_s=10.0)
+        print(report.summary())
+        print()
+
+    print("The dLTE rows to notice: attach in one air round trip plus the")
+    print("local stub, a 4-hop WiFi-like path to the Internet (no EPC")
+    print("triangle, no GTP overhead), and a few hundred bytes of X2")
+    print("coordination instead of kilobytes of S1 signaling.")
+
+
+if __name__ == "__main__":
+    main()

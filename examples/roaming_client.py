@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A client drives past dLTE APs: endpoint mobility in action (§4.2).
+
+dLTE deliberately does not preserve a client's IP address across APs;
+the transport protocol is expected to cope. This script streams a
+download while the client hops APs every few seconds, once over TCP
+(the connection dies and re-handshakes at every hop) and once over QUIC
+(the connection migrates), printing the delivery timeline around each
+handover.
+
+Run:  python examples/roaming_client.py
+"""
+
+from repro.experiments.e6_mobility import (
+    CorridorHarness,
+    DLTE_REATTACH_S,
+    RADIO_BLACKOUT_S,
+    SERVER_ADDR,
+)
+from repro.transport import (
+    BulkTransferApp,
+    QuicConnection,
+    QuicListener,
+    TcpConnection,
+    TcpListener,
+)
+
+DWELL_S = 4.0
+N_HANDOVERS = 3
+
+
+def drive(arm: str) -> None:
+    harness = CorridorHarness(n_aps=4, seed=11)
+    sim = harness.sim
+    harness.attach_dlte(0)
+    if arm == "tcp":
+        TcpListener(sim, harness.server_demux)
+        conn_cls = TcpConnection
+    else:
+        QuicListener(sim, harness.server_demux)
+        conn_cls = QuicConnection
+    app = BulkTransferApp(sim, harness.client_demux, SERVER_ADDR, conn_cls,
+                          total_bytes=10**9)
+    app.start()
+    sim.run(until=1.0)
+
+    print(f"\n=== {arm.upper()} over dLTE: handover every {DWELL_S:g} s ===")
+    ap = 0
+    for hop in range(N_HANDOVERS):
+        before = app._acked_total()
+        sim.run(until=sim.now + DWELL_S)
+        target = (ap + 1) % harness.n_aps
+        harness._detach()
+        sim.run(until=sim.now + RADIO_BLACKOUT_S + DLTE_REATTACH_S)
+        new_addr = harness.attach_dlte(target)
+        app.on_address_change(new_addr)
+        at = sim.now
+        # watch the first second after the handover
+        sim.run(until=at + 1.0)
+        after = app._acked_total()
+        rate = (after - before) * 8 / (DWELL_S + 1.0) / 1e6
+        print(f"  hop {hop + 1}: ap{ap} -> ap{target} at t={at:.2f}s, "
+              f"new address {new_addr}, "
+              f"window rate {rate:.2f} Mbps, "
+              f"reconnects so far: {app.reconnects}")
+        ap = target
+    stalls = app.stall_intervals(min_gap_s=0.15)
+    worst = max((t1 - t0 for t0, t1 in stalls), default=0.0)
+    print(f"  worst delivery stall: {worst:.2f} s; "
+          f"total reconnects: {app.reconnects}")
+
+
+def main() -> None:
+    drive("tcp")
+    drive("quic")
+    print("\nSame road, same APs, same renumbering: TCP re-handshakes at")
+    print("every AP while QUIC's connection ID just follows the client —")
+    print("the difference that makes dLTE's no-mobility-management design")
+    print("workable with modern transports (§4.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""dLTE reproduction: a distributed, WiFi-like LTE architecture.
+
+This package is a from-scratch, laptop-scale reproduction of
+
+    Johnson, Sevilla, Jang, Heimerl.
+    "dLTE: Building a more WiFi-like Cellular Network
+    (Instead of the Other Way Around)". HotNets-XVII, 2018.
+
+It contains a discrete-event simulation of the full dLTE architecture
+(local EPC stubs, an open spectrum registry, peer-to-peer X2 coordination,
+endpoint-managed mobility) together with the baselines the paper compares
+against (centralized carrier LTE, legacy independent-AP WiFi, and private
+LTE), and an experiment harness that turns every quantified claim in the
+paper into a measurable result.
+
+Quickstart::
+
+    from repro import DLTENetwork, RuralTown
+
+    town = RuralTown(radius_m=1500, n_ues=40, seed=1)
+    net = DLTENetwork.build(town)
+    report = net.run(duration_s=10.0)
+    print(report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.simcore import Simulator
+from repro.core.network import (
+    CentralizedLTENetwork,
+    DLTENetwork,
+    PrivateLTENetwork,
+    WiFiNetwork,
+)
+from repro.core.report import NetworkReport
+from repro.workloads.topology import FarmCorridor, RuralTown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "DLTENetwork",
+    "CentralizedLTENetwork",
+    "WiFiNetwork",
+    "PrivateLTENetwork",
+    "NetworkReport",
+    "RuralTown",
+    "FarmCorridor",
+    "__version__",
+]

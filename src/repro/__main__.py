@@ -1,0 +1,79 @@
+"""Command-line experiment runner: ``python -m repro [ids...]``.
+
+Runs the named experiments (or all of them) and prints their tables —
+the same rows the benchmarks assert on and EXPERIMENTS.md records.
+
+Examples::
+
+    python -m repro T1 E3 E12      # quick ones
+    python -m repro --list
+    python -m repro --all          # everything (several minutes: E6/E7)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.metrics.tables import ResultTable
+
+
+def _print_result(result) -> None:
+    if isinstance(result, ResultTable):
+        print(result.render())
+        print()
+    elif isinstance(result, (tuple, list)):
+        for item in result:
+            _print_result(item)
+    else:
+        print(result)
+
+
+def run_experiment(exp_id: str) -> None:
+    """Run one experiment module's ``run()`` and print its tables."""
+    module = ALL_EXPERIMENTS[exp_id]
+    started = time.time()
+    print(f"=== {exp_id}: {module.__doc__.strip().splitlines()[0]}")
+    print()
+    _print_result(module.run())
+    print(f"[{exp_id} done in {time.time() - started:.1f} s]")
+    print()
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="dLTE reproduction: run paper experiments")
+    parser.add_argument("ids", nargs="*",
+                        help=f"experiment ids: {', '.join(ALL_EXPERIMENTS)}")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, module in ALL_EXPERIMENTS.items():
+            headline = module.__doc__.strip().splitlines()[0]
+            print(f"{exp_id:>4}  {headline}")
+        return 0
+
+    ids = list(ALL_EXPERIMENTS) if args.all else args.ids
+    if not ids:
+        parser.print_help()
+        return 2
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; "
+              f"choices: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        run_experiment(exp_id)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Peer-to-peer coordination between dLTE access points (§4.3).
+
+"dLTE access points establish connections with their neighboring APs via
+a standardized protocol over the Internet backhaul. AP owners can elect
+to either run their access points in a default fair sharing mode, or
+fuse resources with their neighbors in a cooperative mode."
+
+* :mod:`x2` — the X2-AP message vocabulary plus the paper's dLTE
+  extensions (operating mode, peer status), running over Internet-latency
+  channels with byte accounting (E9's coordination-bandwidth numbers).
+* :mod:`fair_sharing` — the default mode: a distributed protocol that
+  converges on a fair time-frequency split of the shared grid.
+* :mod:`cooperative` — the opt-in mode: best-AP client assignment,
+  demand-weighted resource fusion, QoS-aware joint scheduling, and
+  coordinated handoff.
+* :mod:`icic` — classic frequency-reuse partitions, used as a
+  coordination-quality reference.
+* :mod:`mesh` — §7's future-work extension: multi-hop backhaul sharing
+  between neighbouring APs for redundancy and aggregation (E11).
+"""
+
+from repro.coordination.x2 import (
+    DlteModeInfo,
+    HandoverRequest,
+    HandoverRequestAck,
+    LoadInformation,
+    PrbClaim,
+    X2Endpoint,
+)
+from repro.coordination.fair_sharing import FairSharingCoordinator
+from repro.coordination.cooperative import CooperativeCluster
+from repro.coordination.icic import reuse_partition
+from repro.coordination.mesh import BackhaulMesh
+from repro.coordination.peer_monitor import PeerMonitor
+
+__all__ = [
+    "X2Endpoint",
+    "LoadInformation",
+    "HandoverRequest",
+    "HandoverRequestAck",
+    "DlteModeInfo",
+    "PrbClaim",
+    "FairSharingCoordinator",
+    "CooperativeCluster",
+    "reuse_partition",
+    "BackhaulMesh",
+    "PeerMonitor",
+]

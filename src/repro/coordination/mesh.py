@@ -1,0 +1,113 @@
+"""Multi-hop backhaul sharing between neighbouring APs (§7 future work).
+
+"We are planning to explore multi-hop approaches to sharing and
+aggregating bandwidth between neighboring LTE APs. Such networks could
+provide redundancy for users in emergencies when the backhaul link goes
+down."
+
+Model: APs are nodes; each may own a backhaul uplink of some capacity;
+inter-AP radio links (capacity set by the link budget between sites)
+form the mesh edges. When an AP's own backhaul dies, its traffic rides
+the mesh to the nearest AP that still has one. E11 measures surviving
+capacity and per-AP reachability under failure injection.
+
+Built on networkx for path computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+class BackhaulMesh:
+    """An AP mesh with per-node backhaul and per-edge radio capacity."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self._backhaul_bps: Dict[str, float] = {}
+        self._failed: set = set()
+
+    # -- construction --------------------------------------------------------------
+
+    def add_ap(self, ap_id: str, backhaul_bps: float = 0.0) -> None:
+        """Add an AP; ``backhaul_bps=0`` means no uplink of its own."""
+        if backhaul_bps < 0:
+            raise ValueError("backhaul capacity must be non-negative")
+        self.graph.add_node(ap_id)
+        self._backhaul_bps[ap_id] = backhaul_bps
+
+    def connect(self, a: str, b: str, radio_bps: float) -> None:
+        """Add a mesh radio link between two APs."""
+        if radio_bps <= 0:
+            raise ValueError("radio link capacity must be positive")
+        if a not in self.graph or b not in self.graph:
+            raise KeyError("both APs must be added before connecting")
+        self.graph.add_edge(a, b, capacity_bps=radio_bps)
+
+    # -- failure injection --------------------------------------------------------------
+
+    def fail_backhaul(self, ap_id: str) -> None:
+        """Kill one AP's uplink (mesh links survive)."""
+        if ap_id not in self.graph:
+            raise KeyError(f"unknown AP {ap_id}")
+        self._failed.add(ap_id)
+
+    def restore_backhaul(self, ap_id: str) -> None:
+        """Bring an uplink back."""
+        self._failed.discard(ap_id)
+
+    def backhaul_bps(self, ap_id: str) -> float:
+        """Effective own-uplink capacity (0 when failed)."""
+        if ap_id in self._failed:
+            return 0.0
+        return self._backhaul_bps.get(ap_id, 0.0)
+
+    # -- analysis ------------------------------------------------------------------------
+
+    def gateways(self) -> List[str]:
+        """APs currently holding a working uplink."""
+        return [ap for ap in self.graph.nodes if self.backhaul_bps(ap) > 0]
+
+    def route_to_internet(self, ap_id: str) -> Optional[Tuple[List[str], float]]:
+        """Best path from ``ap_id`` to any working gateway.
+
+        Returns (path, bottleneck_bps) where the bottleneck includes the
+        gateway's uplink, or None when the AP is cut off. "Best" = the
+        path maximizing the bottleneck (widest path), ties broken by hop
+        count.
+        """
+        if ap_id not in self.graph:
+            raise KeyError(f"unknown AP {ap_id}")
+        if self.backhaul_bps(ap_id) > 0:
+            return ([ap_id], self.backhaul_bps(ap_id))
+        best: Optional[Tuple[List[str], float]] = None
+        for gateway in self.gateways():
+            for path in _bounded_simple_paths(self.graph, ap_id, gateway):
+                bottleneck = min(
+                    min(self.graph.edges[u, v]["capacity_bps"]
+                        for u, v in zip(path, path[1:])),
+                    self.backhaul_bps(gateway))
+                if (best is None or bottleneck > best[1]
+                        or (bottleneck == best[1] and len(path) < len(best[0]))):
+                    best = (path, bottleneck)
+        return best
+
+    def reachable_fraction(self) -> float:
+        """Fraction of APs that can still reach the Internet."""
+        nodes = list(self.graph.nodes)
+        if not nodes:
+            return 0.0
+        ok = sum(1 for ap in nodes if self.route_to_internet(ap) is not None)
+        return ok / len(nodes)
+
+    def total_capacity_bps(self) -> float:
+        """Aggregate working uplink capacity across the mesh."""
+        return sum(self.backhaul_bps(ap) for ap in self.graph.nodes)
+
+
+def _bounded_simple_paths(graph: nx.Graph, src: str, dst: str,
+                          cutoff: int = 6):
+    """Simple paths up to ``cutoff`` hops (meshes are small; keep it cheap)."""
+    return nx.all_simple_paths(graph, src, dst, cutoff=cutoff)

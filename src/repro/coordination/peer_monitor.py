@@ -1,0 +1,109 @@
+"""Peer liveness: the "dLTE peer status" X2 extension (§4.3).
+
+An open federation has churn: an AP owner unplugs their box, a backhaul
+dies, a site loses power. Nobody files a ticket — the *protocol* must
+notice. Each AP heartbeats ``DlteModeInfo(peer_status="active")`` to its
+peers; miss ``MISSED_LIMIT`` consecutive intervals and the peer is
+declared dead, its X2 connection dropped, and the fair-sharing
+coordinator re-announces — so the survivors reclaim the dead AP's
+spectrum within a few heartbeat periods instead of leaving it fallow
+forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.coordination.fair_sharing import FairSharingCoordinator
+from repro.coordination.x2 import DlteModeInfo, X2Endpoint, X2Message
+from repro.simcore.simulator import Simulator
+
+
+class PeerMonitor:
+    """Heartbeats out, liveness timers in, reclamation on loss.
+
+    Args:
+        sim: event kernel.
+        x2: this AP's X2 endpoint.
+        coordinator: the fair-sharing instance to re-announce on churn.
+        heartbeat_s: interval between outgoing heartbeats.
+        missed_limit: consecutive missed intervals before declaring death.
+        on_peer_lost: optional callback(peer_ap_id).
+    """
+
+    MISSED_LIMIT = 3
+
+    def __init__(self, sim: Simulator, x2: X2Endpoint,
+                 coordinator: Optional[FairSharingCoordinator] = None,
+                 heartbeat_s: float = 2.0,
+                 missed_limit: int = MISSED_LIMIT,
+                 on_peer_lost: Optional[Callable[[str], None]] = None) -> None:
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if missed_limit < 1:
+            raise ValueError("missed limit must be at least 1")
+        self.sim = sim
+        self.x2 = x2
+        self.coordinator = coordinator
+        self.heartbeat_s = heartbeat_s
+        self.missed_limit = missed_limit
+        self.on_peer_lost = on_peer_lost
+        self._last_heard: Dict[str, float] = {}
+        self.peers_lost = 0
+        self.heartbeats_sent = 0
+        self._running = False
+        x2.add_handler(self._on_x2)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin heartbeating and watching (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        for peer in self.x2.peer_ids:
+            self._last_heard.setdefault(peer, self.sim.now)
+        self.sim.process(self._run(), name=f"peer-monitor:{self.x2.ap_id}")
+
+    def stop(self) -> None:
+        """Stop heartbeating (watching stops with it)."""
+        self._running = False
+
+    def _run(self):
+        while self._running:
+            self.x2.broadcast(DlteModeInfo(sender_ap=self.x2.ap_id,
+                                           peer_status="active"))
+            self.heartbeats_sent += 1
+            yield self.sim.timeout(self.heartbeat_s)
+            self._check_liveness()
+
+    # -- liveness accounting ------------------------------------------------------------
+
+    def _on_x2(self, from_ap: str, message: X2Message) -> None:
+        # any X2 traffic proves liveness, not just heartbeats
+        self._last_heard[from_ap] = self.sim.now
+
+    def last_heard_s(self, peer_ap_id: str) -> Optional[float]:
+        """When we last heard from a peer (None = never)."""
+        return self._last_heard.get(peer_ap_id)
+
+    def _check_liveness(self) -> None:
+        deadline = self.sim.now - self.missed_limit * self.heartbeat_s
+        for peer in list(self.x2.peer_ids):
+            heard = self._last_heard.get(peer)
+            if heard is None:
+                self._last_heard[peer] = self.sim.now
+                continue
+            if heard < deadline:
+                self._declare_dead(peer)
+
+    def _declare_dead(self, peer_ap_id: str) -> None:
+        self.peers_lost += 1
+        self._last_heard.pop(peer_ap_id, None)
+        self.x2.disconnect_peer(peer_ap_id)
+        if self.coordinator is not None:
+            # membership shrank: reconverge so the survivors split the
+            # dead AP's spectrum among themselves
+            self.coordinator.announce()
+        if self.on_peer_lost is not None:
+            self.on_peer_lost(peer_ap_id)

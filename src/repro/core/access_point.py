@@ -1,0 +1,285 @@
+"""The dLTE access point: everything one site needs, in one box (§4).
+
+A :class:`DLTEAccessPoint` composes:
+
+* an eNodeB (control relay + radio cell),
+* a :class:`LocalCoreStub` (the collapsed EPC, §4.1),
+* a gateway router with its *own* public address pool, attached straight
+  to the Internet — local breakout, no tunnel leaves the site (§4.2),
+* an :class:`X2Endpoint` + :class:`FairSharingCoordinator` for peer
+  coordination over the Internet (§4.3),
+* a spectrum-registry client for licensing and peer discovery.
+
+The lifecycle mirrors the paper's §4.3 narrative: ``register_spectrum``
+(get a license), ``discover_and_peer`` (learn the contention domain,
+connect X2, converge on a grid split), then serve clients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.coordination.fair_sharing import FairSharingCoordinator
+from repro.coordination.x2 import X2Endpoint
+from repro.enodeb.cell import Cell, UeRadioContext
+from repro.enodeb.relay import EnbControlRelay
+from repro.epc.agents import ControlChannel
+from repro.epc.keys import PublishedKeyRegistry
+from repro.epc.stub import LocalCoreStub
+from repro.epc.ue import UserEquipment
+from repro.geo.points import Point
+from repro.net.addressing import AddressPool, IPv4Address
+from repro.net.internet import InternetCore
+from repro.net.nodes import Host, Router
+from repro.phy.bands import Band
+from repro.phy.fading import ShadowingField
+from repro.phy.linkbudget import LinkBudget, Radio
+from repro.phy.propagation import model_for_frequency
+from repro.simcore.simulator import Simulator
+from repro.spectrum.grants import ApRecord, SpectrumGrant
+from repro.spectrum.registry import SpectrumRegistry
+
+#: One-way RRC/air-interface latency.
+AIR_DELAY_S = 0.005
+#: On-box S1 between the eNodeB and its stub.
+LOCAL_S1_DELAY_S = 0.1e-3
+
+
+class DLTEAccessPoint:
+    """One federated dLTE site."""
+
+    def __init__(self, sim: Simulator, ap_id: str, position: Point,
+                 band: Band, internet: InternetCore,
+                 spectrum_registry: Optional[SpectrumRegistry],
+                 key_registry: Optional[PublishedKeyRegistry],
+                 pool_prefix: str,
+                 backhaul_delay_s: float = 0.025,
+                 backhaul_rate_bps: float = 50e6,
+                 tx_power_dbm: float = 43.0,
+                 antenna_gain_dbi: float = 15.0,
+                 height_m: float = 30.0,
+                 shadowing: Optional[ShadowingField] = None) -> None:
+        self.sim = sim
+        self.ap_id = ap_id
+        self.position = position
+        self.band = band
+        self.internet = internet
+        self.spectrum_registry = spectrum_registry
+        self.backhaul_delay_s = backhaul_delay_s
+
+        # gateway + local breakout
+        self.router = Router(sim, f"{ap_id}-gw")
+        internet.attach(self.router, pool_prefix,
+                        access_delay_s=backhaul_delay_s,
+                        access_rate_bps=backhaul_rate_bps)
+        self.pool = AddressPool(pool_prefix)
+
+        # local core stub
+        self.stub = LocalCoreStub(sim, f"{ap_id}-core", self.pool,
+                                  registry=key_registry)
+        self.stub.on_session_created = self._on_session_created
+        self.stub.on_session_deleted = self._on_session_deleted
+
+        # eNodeB: control relay + radio cell
+        self.enb = EnbControlRelay(sim, f"{ap_id}-enb")
+        s1 = ControlChannel(sim, self.enb, self.stub, LOCAL_S1_DELAY_S,
+                            name=f"s1:{ap_id}")
+        self.enb.connect_core(s1)
+        self.stub.connect_enb(s1)
+
+        budget = LinkBudget(
+            model_for_frequency(band.dl_mhz, bs_height_m=height_m),
+            freq_mhz=band.dl_mhz, bandwidth_hz=band.bandwidth_hz,
+            shadowing=shadowing)
+        self.cell = Cell(f"{ap_id}-cell", band, position, budget,
+                         tx_power_dbm=tx_power_dbm,
+                         antenna_gain_dbi=antenna_gain_dbi,
+                         height_m=height_m)
+
+        # peer coordination
+        self.x2 = X2Endpoint(sim, ap_id)
+        self.coordinator = FairSharingCoordinator(
+            self.x2, self.cell.grid, on_converged=self._install_slice)
+        self.x2.add_handler(self._on_x2_message)
+        self._pending_handover_acks: Dict[str, Callable[[bool], None]] = {}
+        self.handovers_in = 0
+        self.handovers_out = 0
+
+        # spectrum state
+        self.grant: Optional[SpectrumGrant] = None
+        self.neighbors: List[ApRecord] = []
+        self.peer_monitor = None  # created by start_peer_monitor()
+
+        # attached clients
+        self._ue_hosts: Dict[str, Host] = {}
+        self._ue_objects: Dict[str, UserEquipment] = {}
+        self._ue_addresses: Dict[str, IPv4Address] = {}
+
+    # -- spectrum lifecycle --------------------------------------------------------
+
+    @property
+    def record(self) -> ApRecord:
+        """This AP's registry record."""
+        return ApRecord(ap_id=self.ap_id, position=self.position,
+                        band=self.band,
+                        eirp_dbm=self.cell.radio.eirp_dbm,
+                        contact=self.router.name)
+
+    def register_spectrum(self,
+                          callback: Optional[Callable[[bool], None]] = None
+                          ) -> None:
+        """Request a license; ``callback(granted)`` when decided."""
+        if self.spectrum_registry is None:
+            raise RuntimeError(f"{self.ap_id}: no spectrum registry configured")
+
+        def on_grant(grant: Optional[SpectrumGrant]) -> None:
+            self.grant = grant
+            if callback is not None:
+                callback(grant is not None)
+
+        self.spectrum_registry.request_grant(self.record, on_grant)
+
+    def discover_and_peer(self, directory: Dict[str, "DLTEAccessPoint"],
+                          done: Optional[Callable[[int], None]] = None) -> None:
+        """Find contention-domain peers, connect X2, start fair sharing.
+
+        ``directory`` maps ap_id -> AP for rendezvous (the registry gives
+        us *who*; the directory stands in for their Internet contacts).
+        X2 latency is the real Internet RTT between the two gateways.
+        """
+        if self.grant is None:
+            raise RuntimeError(f"{self.ap_id}: register spectrum first")
+
+        def on_neighbors(records: List[ApRecord]) -> None:
+            self.neighbors = records
+            for record in records:
+                peer = directory.get(record.ap_id)
+                if peer is None:
+                    continue
+                one_way = self.internet.rtt_between_s(
+                    self.router.name, peer.router.name) / 2.0
+                self.x2.connect_peer(peer.x2, one_way_delay_s=one_way)
+            self.coordinator.announce()
+            if done is not None:
+                done(len(records))
+
+        self.spectrum_registry.discover_neighbors(self.ap_id, on_neighbors)
+
+    def _install_slice(self, prbs: FrozenSet[int]) -> None:
+        self.cell.allowed_prbs = prbs
+
+    def start_peer_monitor(self, heartbeat_s: float = 2.0) -> None:
+        """Run the dLTE peer-status extension: detect dead peers and
+        reclaim their spectrum (call after peering is established)."""
+        from repro.coordination.peer_monitor import PeerMonitor
+
+        if self.peer_monitor is None:
+            self.peer_monitor = PeerMonitor(self.sim, self.x2,
+                                            self.coordinator,
+                                            heartbeat_s=heartbeat_s)
+        self.peer_monitor.start()
+
+    # -- client lifecycle ------------------------------------------------------------
+
+    def connect_ue(self, ue: UserEquipment, ue_host: Host,
+                   ue_radio: Radio) -> None:
+        """Establish the RRC connection and data link; then UE may attach."""
+        if ue.ue_id in self._ue_hosts:
+            raise ValueError(f"UE {ue.ue_id} already connected to {self.ap_id}")
+        air = ControlChannel(self.sim, ue, self.enb, AIR_DELAY_S,
+                             name=f"air:{ue.ue_id}@{self.ap_id}")
+        ue.connect_air(air)
+        self.enb.attach_ue(ue.ue_id, air)
+        self.cell.add_ue(UeRadioContext(ue_id=ue.ue_id, radio=ue_radio))
+        # data-plane link: air latency; rate refined per-TTI by the cell
+        ue_host.connect_bidirectional(self.router, rate_bps=50e6,
+                                      delay_s=AIR_DELAY_S)
+        ue_host.default_gateway = self.router.name
+        self._ue_hosts[ue.ue_id] = ue_host
+        self._ue_objects[ue.ue_id] = ue
+
+    def disconnect_ue(self, ue: UserEquipment) -> None:
+        """Tear down radio + data link (after detach, or on radio loss)."""
+        host = self._ue_hosts.pop(ue.ue_id, None)
+        self._ue_objects.pop(ue.ue_id, None)
+        self.enb.detach_ue(ue.ue_id)
+        self.cell.remove_ue(ue.ue_id)
+        if host is not None:
+            host.links.pop(self.router.name, None)
+            self.router.links.pop(host.name, None)
+            self.router.remove_routes_to(host.name)
+            stale = self._ue_addresses.pop(ue.ue_id, None)
+            if stale is not None and stale in host.addresses:
+                host.remove_address(stale)
+
+    def _on_session_created(self, ue_id: str, address: IPv4Address) -> None:
+        host = self._ue_hosts.get(ue_id)
+        if host is None:
+            return
+        host.add_address(address)
+        self._ue_addresses[ue_id] = address
+        self.router.add_route(f"{address}/32", host.name)
+
+    def _on_session_deleted(self, ue_id: str) -> None:
+        host = self._ue_hosts.get(ue_id)
+        address = self._ue_addresses.pop(ue_id, None)
+        if host is not None and address is not None:
+            if address in host.addresses:
+                host.remove_address(address)
+            self.router.remove_routes_to(host.name)
+
+    # -- X2 handover (coordinated handoff, §4.3 cooperative mode) ---------------
+
+    def request_handover(self, ue: UserEquipment,
+                         target_ap_id: str,
+                         on_decided: Optional[Callable[[bool], None]] = None
+                         ) -> None:
+        """Start an X2 handover: offer the UE (with its security context)
+        to a peer AP.
+
+        The target pre-loads the UE's cached key so its stub admits the
+        client without a registry fetch; the decision comes back via
+        ``on_decided(admitted)`` after one X2 round trip. Moving the UE's
+        radio/data attachment is the caller's job once admitted (see
+        tests for the full sequence).
+        """
+        from repro.coordination.x2 import HandoverRequest
+
+        if target_ap_id not in self.x2.peer_ids:
+            raise KeyError(f"{self.ap_id} has no X2 peering with "
+                           f"{target_ap_id!r}")
+        key = self.stub._key_cache.get(ue.profile.imsi)
+        if on_decided is not None:
+            self._pending_handover_acks[ue.ue_id] = on_decided
+        self.x2.send(target_ap_id, HandoverRequest(
+            sender_ap=self.ap_id, ue_id=ue.ue_id, imsi=ue.profile.imsi,
+            key_context=key))
+
+    def _on_x2_message(self, from_ap: str, message) -> None:
+        from repro.coordination.x2 import HandoverRequest, HandoverRequestAck
+
+        if isinstance(message, HandoverRequest):
+            # admission control: accept while the pool has room
+            admitted = self.pool.in_use < self.pool.capacity
+            if admitted and message.key_context is not None:
+                self.stub.preload_key(message.imsi, message.key_context)
+            if admitted:
+                self.handovers_in += 1
+            self.x2.send(from_ap, HandoverRequestAck(
+                sender_ap=self.ap_id, ue_id=message.ue_id,
+                admitted=admitted))
+        elif isinstance(message, HandoverRequestAck):
+            callback = self._pending_handover_acks.pop(message.ue_id, None)
+            if callback is not None:
+                if message.admitted:
+                    self.handovers_out += 1
+                callback(message.admitted)
+
+    @property
+    def attached_count(self) -> int:
+        """Active sessions at the stub."""
+        return len(self.stub.sessions)
+
+    def __repr__(self) -> str:
+        return (f"<DLTEAccessPoint {self.ap_id} band={self.band.name} "
+                f"sessions={self.attached_count}>")

@@ -1,0 +1,84 @@
+"""e-SIM multi-profile devices (§4.2).
+
+"The GSMA recently finalized specifications for remotely provisionable
+'e-SIMs,' which allow for holding multiple identities on different
+networks simultaneously … end users could simultaneously maintain an
+open dLTE SIM alongside other secured SIMs for different networks."
+
+An :class:`EsimDevice` holds several :class:`SubscriberProfile` slots
+and selects the right identity per network: the published dLTE profile
+for open APs, the private carrier profile for the carrier. Publication
+state is enforced per-profile, so opting into dLTE never leaks the
+carrier key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.epc.keys import PublishedKeyRegistry
+from repro.epc.subscriber import SubscriberProfile
+
+
+class EsimDevice:
+    """A device's e-SIM: named profile slots with per-network selection."""
+
+    def __init__(self, device_id: str) -> None:
+        if not device_id:
+            raise ValueError("device_id must be non-empty")
+        self.device_id = device_id
+        self._profiles: Dict[str, SubscriberProfile] = {}
+
+    def install(self, slot: str, profile: SubscriberProfile) -> None:
+        """Provision a profile into a named slot (replaces silently)."""
+        self._profiles[slot] = profile
+
+    def remove(self, slot: str) -> None:
+        """Delete a profile (KeyError if absent)."""
+        del self._profiles[slot]
+
+    def profile(self, slot: str) -> SubscriberProfile:
+        """Fetch a profile by slot name."""
+        try:
+            return self._profiles[slot]
+        except KeyError:
+            raise KeyError(
+                f"device {self.device_id} has no profile slot {slot!r}; "
+                f"slots: {sorted(self._profiles)}") from None
+
+    @property
+    def slots(self) -> List[str]:
+        """Installed slot names."""
+        return sorted(self._profiles)
+
+    def profile_for_network(self, open_network: bool) -> SubscriberProfile:
+        """Pick an identity: published profile for open networks.
+
+        Open (dLTE) networks need a published profile; closed (carrier)
+        networks get a private one. Raises LookupError when the device
+        holds no suitable identity.
+        """
+        for profile in self._profiles.values():
+            if profile.published == open_network:
+                return profile
+        kind = "published (dLTE)" if open_network else "private (carrier)"
+        raise LookupError(
+            f"device {self.device_id} has no {kind} profile installed")
+
+    def generate_dlte_profile(self, imsi: str,
+                              registry: Optional[PublishedKeyRegistry] = None,
+                              slot: str = "dlte") -> SubscriberProfile:
+        """Mint a fresh open identity and (optionally) publish it.
+
+        Models the "easier to generate and deploy new identities" e-SIM
+        workflow: key derived per (device, imsi), marked published, and
+        pushed to the registry in one step.
+        """
+        key = hashlib.sha256(
+            f"esim:{self.device_id}:{imsi}".encode()).digest()[:16]
+        profile = SubscriberProfile(imsi=imsi, key=key, published=True)
+        self.install(slot, profile)
+        if registry is not None:
+            registry.publish(profile)
+        return profile

@@ -1,0 +1,86 @@
+"""The network report: what a built-and-run architecture measured."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import summarize
+
+
+@dataclass
+class NetworkReport:
+    """Results of one architecture run.
+
+    Attributes:
+        architecture: which network produced this.
+        n_aps / n_ues: scenario size.
+        attach_latencies_s: per-UE attach (or association) durations.
+        attach_failures: UEs that never got service.
+        throughput_bps: per-UE downlink goodput from the radio phase.
+        rtt_s: per-sampled-UE round trip to the OTT server.
+        hop_counts: forwarding hops on the one-way path to the server.
+        tunnel_overhead_bytes: per-packet encapsulation overhead observed.
+        control_bytes: control-plane bytes that crossed backhaul/X2.
+        extras: architecture-specific observations.
+    """
+
+    architecture: str
+    n_aps: int = 0
+    n_ues: int = 0
+    attach_latencies_s: List[float] = field(default_factory=list)
+    attach_failures: int = 0
+    throughput_bps: Dict[str, float] = field(default_factory=dict)
+    rtt_s: Dict[str, float] = field(default_factory=dict)
+    hop_counts: Dict[str, int] = field(default_factory=dict)
+    tunnel_overhead_bytes: int = 0
+    control_bytes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_attach_s(self) -> Optional[float]:
+        """Average attach latency, or None if nobody attached."""
+        if not self.attach_latencies_s:
+            return None
+        return sum(self.attach_latencies_s) / len(self.attach_latencies_s)
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        """Average per-UE goodput (0 when no radio phase ran)."""
+        if not self.throughput_bps:
+            return 0.0
+        return sum(self.throughput_bps.values()) / len(self.throughput_bps)
+
+    @property
+    def mean_rtt_s(self) -> Optional[float]:
+        """Average ping RTT to the OTT server."""
+        if not self.rtt_s:
+            return None
+        return sum(self.rtt_s.values()) / len(self.rtt_s)
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        lines = [f"{self.architecture}: {self.n_aps} APs, {self.n_ues} UEs"]
+        if self.attach_latencies_s:
+            s = summarize(self.attach_latencies_s)
+            lines.append(
+                f"  attach: mean {s['mean']*1e3:.1f} ms, "
+                f"p95 {s['p95']*1e3:.1f} ms, failures {self.attach_failures}")
+        if self.throughput_bps:
+            lines.append(
+                f"  downlink: mean {self.mean_throughput_bps/1e6:.2f} Mbps "
+                f"across {len(self.throughput_bps)} UEs")
+        if self.rtt_s:
+            hops = (f", path {min(self.hop_counts.values())}-"
+                    f"{max(self.hop_counts.values())} hops"
+                    if self.hop_counts else "")
+            lines.append(f"  OTT RTT: mean {self.mean_rtt_s*1e3:.1f} ms{hops}")
+        if self.tunnel_overhead_bytes:
+            lines.append(f"  tunnel overhead: {self.tunnel_overhead_bytes} "
+                         f"bytes/packet")
+        if self.control_bytes:
+            lines.append(f"  control plane: {self.control_bytes} bytes on "
+                         f"backhaul")
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"  {key}: {value:g}")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Deployment economics (§5, E12) and provisioning advice (§7)."""
+
+from repro.deploy.advisor import ProvisioningAdvisor, SiteAssessment
+from repro.deploy.costs import (
+    BomItem,
+    DeploymentPlan,
+    PAPUA_REFERENCE_BOM,
+    carrier_femtocell_plan,
+    coverage_area_km2,
+    dlte_site_plan,
+    wifi_site_plan,
+)
+
+__all__ = [
+    "ProvisioningAdvisor",
+    "SiteAssessment",
+    "BomItem",
+    "DeploymentPlan",
+    "PAPUA_REFERENCE_BOM",
+    "dlte_site_plan",
+    "wifi_site_plan",
+    "carrier_femtocell_plan",
+    "coverage_area_km2",
+]

@@ -1,0 +1,14 @@
+"""The eNodeB: radio cell + control relay + X2 endpoint.
+
+An eNodeB bridges three worlds: the air interface toward UEs (RRC/NAS
+relay, measurement reports, PRB scheduling over its cell), the S1
+interface toward whichever core serves it (carrier MME or local stub),
+and the X2 interface toward peer eNodeBs (handover and the paper's dLTE
+coordination extensions, §4.3).
+"""
+
+from repro.enodeb.cell import Cell
+from repro.enodeb.relay import EnbControlRelay
+from repro.enodeb.site import SectorSite
+
+__all__ = ["Cell", "EnbControlRelay", "SectorSite"]

@@ -1,0 +1,180 @@
+"""The radio cell: one eNodeB's PHY/MAC face.
+
+Combines a band, a resource grid, a scheduler, and a link budget into
+per-TTI throughput evaluation for attached UEs. The coordination layer
+(§4.3) manipulates the grid's reservations; the cell schedules inside
+whatever slice it currently owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.geo.points import Point
+from repro.mac.schedulers import LteScheduler, ProportionalFairScheduler, SchedulableUser
+from repro.mac.uplink import ContiguousUplinkScheduler
+from repro.phy.bands import Band
+from repro.phy.harq import harq_goodput_factor
+from repro.phy.linkbudget import LinkBudget, Radio
+from repro.phy.mcs import select_lte_cqi
+from repro.phy.resource_grid import ResourceGrid, bits_per_prb
+
+
+@dataclass
+class UeRadioContext:
+    """Cell-side radio state for one attached UE."""
+
+    ue_id: str
+    radio: Radio
+    backlog_bits: float = float("inf")
+    gbr_bps: float = 0.0
+    priority: int = 9
+
+
+class Cell:
+    """One sector of an eNodeB."""
+
+    def __init__(self, name: str, band: Band, position: Point,
+                 link_budget: LinkBudget,
+                 tx_power_dbm: float = 43.0,
+                 antenna_gain_dbi: float = 15.0,
+                 height_m: float = 30.0,
+                 scheduler: Optional[LteScheduler] = None,
+                 harq_enabled: bool = True,
+                 harq_max_retx: int = 3) -> None:
+        self.name = name
+        self.band = band
+        self.radio = Radio(position=position, tx_power_dbm=tx_power_dbm,
+                           antenna_gain_dbi=antenna_gain_dbi,
+                           height_m=height_m, noise_figure_db=5.0)
+        self.link_budget = link_budget
+        self.grid = ResourceGrid(band.bandwidth_hz)
+        self.scheduler = scheduler or ProportionalFairScheduler()
+        #: PUSCH side: SC-FDMA requires contiguous per-UE blocks
+        self.uplink_scheduler = ContiguousUplinkScheduler()
+        self.harq_enabled = harq_enabled
+        self.harq_max_retx = harq_max_retx
+        self._ues: Dict[str, UeRadioContext] = {}
+        #: PRBs this cell may use this TTI (set by coordination; default all)
+        self.allowed_prbs: FrozenSet[int] = self.grid.all_prbs
+        #: Interfering cells currently transmitting on overlapping PRBs.
+        self.interferers: List["Cell"] = []
+
+    @property
+    def position(self) -> Point:
+        """Cell site location."""
+        return self.radio.position
+
+    # -- UE management -----------------------------------------------------------
+
+    def add_ue(self, ctx: UeRadioContext) -> None:
+        """Attach a UE's radio context (rejects duplicates)."""
+        if ctx.ue_id in self._ues:
+            raise ValueError(f"UE {ctx.ue_id} already attached to {self.name}")
+        self._ues[ctx.ue_id] = ctx
+
+    def remove_ue(self, ue_id: str) -> None:
+        """Detach a UE and drop its scheduler history."""
+        self._ues.pop(ue_id, None)
+        self.scheduler.forget(ue_id)
+
+    @property
+    def attached_ues(self) -> List[str]:
+        """Ids of currently attached UEs."""
+        return list(self._ues)
+
+    # -- radio evaluation -----------------------------------------------------------
+
+    def sinr_to(self, ue_radio: Radio,
+                conflicting_cells: Optional[List["Cell"]] = None) -> float:
+        """Downlink SINR at a UE, counting overlapping-PRB cells."""
+        cells = self.interferers if conflicting_cells is None else conflicting_cells
+        return self.link_budget.sinr_db(
+            self.radio, ue_radio, interferers=[c.radio for c in cells
+                                               if c is not self])
+
+    def rsrp_to(self, ue_radio: Radio) -> float:
+        """Reference signal received power (dBm) — the handover metric."""
+        return self.link_budget.rx_power_dbm(self.radio, ue_radio)
+
+    # -- per-TTI scheduling ------------------------------------------------------------
+
+    def schedule_tti(self) -> Dict[str, float]:
+        """Run one TTI: allocate the allowed PRBs, return bits per UE.
+
+        Goodput per UE = granted PRBs x bits/PRB at its CQI x the HARQ
+        delivery factor at its SINR.
+        """
+        users = []
+        sinrs: Dict[str, float] = {}
+        for ctx in self._ues.values():
+            sinr = self.sinr_to(ctx.radio)
+            sinrs[ctx.ue_id] = sinr
+            users.append(SchedulableUser(user_id=ctx.ue_id, sinr_db=sinr,
+                                         backlog_bits=ctx.backlog_bits,
+                                         gbr_bps=ctx.gbr_bps,
+                                         priority=ctx.priority))
+        grants = self.scheduler.allocate(users, self.allowed_prbs)
+        delivered: Dict[str, float] = {}
+        for ue_id, prbs in grants.items():
+            sinr = sinrs[ue_id]
+            entry = select_lte_cqi(sinr)
+            if entry is None:
+                continue
+            factor = 1.0
+            if self.harq_enabled:
+                factor = harq_goodput_factor(sinr, entry.min_sinr_db,
+                                             max_retx=self.harq_max_retx)
+            delivered[ue_id] = (len(prbs) * bits_per_prb(entry.efficiency_bps_hz)
+                                * factor)
+        return delivered
+
+    def uplink_sinr_from(self, ue_radio: Radio) -> float:
+        """Uplink SINR at the cell from a UE (SC-FDMA PAPR credit applies
+        via the UE radio's ``ul_papr_advantage_db``)."""
+        return self.link_budget.sinr_db(ue_radio, self.radio)
+
+    def schedule_uplink_tti(self) -> Dict[str, float]:
+        """One PUSCH TTI: contiguous per-UE blocks, bits per UE.
+
+        Uses the uplink link budget (UE transmits, cell receives) and the
+        same HARQ goodput adjustment as the downlink.
+        """
+        users = []
+        sinrs: Dict[str, float] = {}
+        for ctx in self._ues.values():
+            sinr = self.uplink_sinr_from(ctx.radio)
+            sinrs[ctx.ue_id] = sinr
+            users.append(SchedulableUser(user_id=ctx.ue_id, sinr_db=sinr,
+                                         backlog_bits=ctx.backlog_bits,
+                                         gbr_bps=ctx.gbr_bps,
+                                         priority=ctx.priority))
+        grants = self.uplink_scheduler.allocate(users, self.allowed_prbs)
+        delivered: Dict[str, float] = {}
+        for ue_id, prbs in grants.items():
+            if not prbs:
+                continue
+            entry = select_lte_cqi(sinrs[ue_id])
+            if entry is None:
+                continue
+            factor = 1.0
+            if self.harq_enabled:
+                factor = harq_goodput_factor(sinrs[ue_id],
+                                             entry.min_sinr_db,
+                                             max_retx=self.harq_max_retx)
+            delivered[ue_id] = (len(prbs)
+                                * bits_per_prb(entry.efficiency_bps_hz)
+                                * factor)
+        return delivered
+
+    def throughput_bps(self, tti_results: List[Dict[str, float]]) -> Dict[str, float]:
+        """Aggregate a list of per-TTI results into per-UE bits/s."""
+        if not tti_results:
+            return {}
+        totals: Dict[str, float] = {}
+        for result in tti_results:
+            for ue_id, bits in result.items():
+                totals[ue_id] = totals.get(ue_id, 0.0) + bits
+        duration_s = len(tti_results) * 1e-3
+        return {ue_id: bits / duration_s for ue_id, bits in totals.items()}

@@ -1,0 +1,78 @@
+"""Sectorized sites: several cells on one mast (the §5 deployment shape).
+
+The Papua site is "two commercial eNodeBs (for two sectors), two 15dBi
+antennas" — one roof, two directional cells splitting the azimuth. A
+:class:`SectorSite` builds N :class:`Cell` instances sharing a position
+and band, each behind a :class:`SectorAntenna` at an evenly-spaced
+boresight, and steers every UE to the sector whose pattern serves it
+best. Sectors reuse the same carrier; the antenna front-to-back ratio is
+what isolates them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.enodeb.cell import Cell, UeRadioContext
+from repro.geo.points import Point
+from repro.phy.antenna import SectorAntenna, sector_boresights
+from repro.phy.bands import Band
+from repro.phy.linkbudget import LinkBudget, Radio
+
+
+class SectorSite:
+    """N sector cells on one mast."""
+
+    def __init__(self, name: str, band: Band, position: Point,
+                 link_budget: LinkBudget, n_sectors: int = 2,
+                 tx_power_dbm: float = 43.0,
+                 sector_gain_dbi: float = 15.0,
+                 height_m: float = 30.0) -> None:
+        if n_sectors < 1:
+            raise ValueError("need at least one sector")
+        self.name = name
+        self.position = position
+        self.cells: List[Cell] = []
+        for i, boresight in enumerate(sector_boresights(n_sectors)):
+            cell = Cell(f"{name}-s{i}", band, position, link_budget,
+                        tx_power_dbm=tx_power_dbm,
+                        antenna_gain_dbi=sector_gain_dbi,
+                        height_m=height_m)
+            cell.radio.antenna = SectorAntenna(
+                boresight_rad=boresight, peak_gain_dbi=sector_gain_dbi)
+            self.cells.append(cell)
+        # same-mast sectors interfere through their pattern overlap
+        for cell in self.cells:
+            cell.interferers = [c for c in self.cells if c is not cell]
+
+    @property
+    def n_sectors(self) -> int:
+        """Sector count."""
+        return len(self.cells)
+
+    def best_sector(self, ue_radio: Radio) -> Cell:
+        """The sector whose pattern yields the strongest signal at a UE."""
+        return max(self.cells,
+                   key=lambda c: (c.rsrp_to(ue_radio), c.name))
+
+    def add_ue(self, ctx: UeRadioContext) -> Cell:
+        """Attach a UE to its best sector; returns the chosen cell."""
+        cell = self.best_sector(ctx.radio)
+        cell.add_ue(ctx)
+        return cell
+
+    def remove_ue(self, ue_id: str) -> None:
+        """Detach a UE from whichever sector holds it."""
+        for cell in self.cells:
+            cell.remove_ue(ue_id)
+
+    def attached_by_sector(self) -> Dict[str, List[str]]:
+        """UE ids per sector (load balance inspection)."""
+        return {cell.name: cell.attached_ues for cell in self.cells}
+
+    def schedule_tti(self) -> Dict[str, float]:
+        """Run one TTI on every sector; merged per-UE bits."""
+        delivered: Dict[str, float] = {}
+        for cell in self.cells:
+            delivered.update(cell.schedule_tti())
+        return delivered

@@ -1,0 +1,53 @@
+"""The Evolved Packet Core — full and stubbed.
+
+The paper's architectural move (§4.1) is to take the four EPC functions a
+client requires — HSS, MME, S-GW, P-GW — and collapse them into a "local
+core stub" at every access point, paring away mobility management,
+inter-component networking, and billing. To measure what that buys, we
+need both shapes:
+
+* :class:`CentralizedEpc` — the carrier baseline: one HSS, one MME, one
+  S-GW and P-GW, shared by every eNodeB over backhaul control channels,
+  with finite per-message processing capacity (so attach storms queue).
+* :class:`LocalCoreStub` — the dLTE shape: the same attach/AKA/bearer
+  machinery as one in-process agent per AP, authenticating against
+  *published* keys (§4.2) instead of a private HSS database.
+
+Both run the standard EPS attach procedure message-for-message, so E7's
+latency/load comparison is apples-to-apples.
+"""
+
+from repro.epc.agents import ControlAgent, ControlChannel, ControlMessage
+from repro.epc.crypto import AuthVector, generate_auth_vector, ue_compute_response
+from repro.epc.centralized import CentralizedEpc
+from repro.epc.hss import Hss
+from repro.epc.keys import PublishedKeyRegistry
+from repro.epc.mme import Mme
+from repro.epc.nas import (
+    AttachAccept,
+    AttachComplete,
+    AttachRequest,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    SecurityModeCommand,
+    SecurityModeComplete,
+)
+from repro.epc.pgw import Pgw
+from repro.epc.sgw import Sgw
+from repro.epc.stub import LocalCoreStub
+from repro.epc.subscriber import SubscriberDb, SubscriberProfile
+from repro.epc.ue import UserEquipment
+
+__all__ = [
+    "ControlAgent", "ControlChannel", "ControlMessage",
+    "AuthVector", "generate_auth_vector", "ue_compute_response",
+    "CentralizedEpc",
+    "Hss", "Mme", "Sgw", "Pgw",
+    "PublishedKeyRegistry",
+    "AttachRequest", "AttachAccept", "AttachComplete",
+    "AuthenticationRequest", "AuthenticationResponse",
+    "SecurityModeCommand", "SecurityModeComplete",
+    "LocalCoreStub",
+    "SubscriberDb", "SubscriberProfile",
+    "UserEquipment",
+]

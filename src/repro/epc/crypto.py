@@ -1,0 +1,80 @@
+"""EPS-AKA authentication primitives (milenage-shaped, hash-based).
+
+LTE authenticates by symmetric challenge-response: the HSS and the SIM
+share a secret K; the network issues (RAND, AUTN) and the SIM proves
+possession by returning RES. We keep the exact message/verification
+structure (vector generation at the HSS, RES computation at the UE,
+network authentication via AUTN) but derive the functions from SHA-256
+instead of the AES-based MILENAGE f-boxes — the architecture experiments
+depend on *where* keys live and *who* can verify, not on the cipher.
+
+The paper's twist (§4.2): dLTE users *publish* K. Publication does not
+change any of this math — any AP holding the published K can run the
+same AKA — which is precisely why dLTE stubs interoperate with stock
+SIMs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+
+def _kdf(key: bytes, label: bytes, *parts: bytes, length: int = 16) -> bytes:
+    """Derive ``length`` bytes from key material with domain separation."""
+    mac = hmac.new(key, label + b"".join(parts), hashlib.sha256)
+    return mac.digest()[:length]
+
+
+@dataclass(frozen=True)
+class AuthVector:
+    """One EPS authentication vector, as the HSS hands to an MME.
+
+    Attributes:
+        rand: the 16-byte challenge.
+        xres: expected response (the MME compares the UE's RES to this).
+        autn: network authentication token (the UE verifies this).
+        kasme: derived session key anchoring the security context.
+        sqn: the sequence number folded into AUTN (carried alongside
+            here; the real AUTN conceals it as SQN xor AK).
+    """
+
+    rand: bytes
+    xres: bytes
+    autn: bytes
+    kasme: bytes
+    sqn: int = 0
+
+
+def generate_auth_vector(key: bytes, rand: bytes, sqn: int = 0) -> AuthVector:
+    """HSS side: build the vector for a challenge ``rand``.
+
+    ``sqn`` is the sequence number folded into AUTN for replay
+    protection; the reproduction keeps it explicit so tests can exercise
+    stale-vector rejection.
+    """
+    if len(rand) != 16:
+        raise ValueError("RAND must be 16 bytes")
+    sqn_bytes = sqn.to_bytes(6, "big")
+    xres = _kdf(key, b"f2-res", rand)
+    autn = _kdf(key, b"f1-autn", rand, sqn_bytes)
+    kasme = _kdf(key, b"kasme", rand, sqn_bytes, length=32)
+    return AuthVector(rand=rand, xres=xres, autn=autn, kasme=kasme, sqn=sqn)
+
+
+def ue_compute_response(key: bytes, rand: bytes) -> bytes:
+    """SIM side: RES for a challenge (matches ``xres`` iff keys match)."""
+    if len(rand) != 16:
+        raise ValueError("RAND must be 16 bytes")
+    return _kdf(key, b"f2-res", rand)
+
+
+def ue_verify_network(key: bytes, rand: bytes, autn: bytes, sqn: int = 0) -> bool:
+    """SIM side: check AUTN so the UE knows the network holds K too.
+
+    Mutual authentication is what lets a stock handset trust a dLTE stub
+    that learned K from the publication registry.
+    """
+    expected = _kdf(key, b"f1-autn", rand, sqn.to_bytes(6, "big"))
+    return hmac.compare_digest(expected, autn)

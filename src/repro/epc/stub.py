@@ -1,0 +1,157 @@
+"""The dLTE local core stub (§4.1).
+
+"We deploy an EPC stub at each AP, virtualizing the required EPC
+components (S-GW, P-GW, MME, and HSS) in software on a local processor
+… paring its functions down to only those directly required by the
+client."
+
+One serial agent plays all four roles: it answers the UE's NAS messages
+exactly like an MME (so stock clients interoperate), mints vectors
+locally like an HSS — from *published* keys fetched once from the open
+registry and cached — and allocates a publicly-routable address from the
+AP's own pool like a P-GW. There is no S6a, S11, or S5: those interfaces
+collapse into function calls, which is where the E7 latency advantage
+comes from. There is deliberately no mobility management and no billing.
+"""
+
+from __future__ import annotations
+
+import hmac as hmac_mod
+from typing import Callable, Dict, Optional
+
+from repro.epc.agents import ControlAgent, ControlChannel, ControlMessage
+from repro.epc.crypto import AuthVector, generate_auth_vector
+from repro.epc.keys import PublishedKeyRegistry
+from repro.epc.nas import (
+    AttachAccept,
+    AttachComplete,
+    AttachReject,
+    AttachRequest,
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DetachRequest,
+    SecurityModeCommand,
+    SecurityModeComplete,
+)
+from repro.net.addressing import AddressPool, IPv4Address, PoolExhausted
+from repro.simcore.simulator import Simulator
+
+
+class LocalCoreStub(ControlAgent):
+    """MME+HSS+S-GW+P-GW collapsed into one per-AP agent."""
+
+    def __init__(self, sim: Simulator, name: str, pool: AddressPool,
+                 registry: Optional[PublishedKeyRegistry] = None,
+                 service_time_s: float = 0.5e-3) -> None:
+        super().__init__(sim, name, service_time_s)
+        self.pool = pool
+        self.registry = registry
+        self.s1: Optional[ControlChannel] = None
+        self._key_cache: Dict[str, bytes] = {}
+        self._sqn: Dict[str, int] = {}
+        self._pending_vector: Dict[str, AuthVector] = {}
+        self.sessions: Dict[str, IPv4Address] = {}
+        # metrics
+        self.attaches_completed = 0
+        self.attaches_rejected = 0
+        self.registry_fetches = 0
+        self.cache_hits = 0
+        self.on_session_created: Optional[
+            Callable[[str, IPv4Address], None]] = None
+        self.on_session_deleted: Optional[Callable[[str], None]] = None
+
+    def connect_enb(self, channel: ControlChannel) -> None:
+        """Register the (on-box) S1 channel to the co-located eNodeB."""
+        self.s1 = channel
+
+    def preload_key(self, imsi: str, key: bytes) -> None:
+        """Seed the key cache (e.g. the AP owner's own devices)."""
+        self._key_cache[imsi] = key
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def handle(self, message: ControlMessage) -> None:
+        payload = message.payload
+        if isinstance(payload, AttachRequest):
+            self._on_attach_request(payload)
+        elif isinstance(payload, AuthenticationResponse):
+            self._on_auth_response(payload)
+        elif isinstance(payload, SecurityModeComplete):
+            self._on_security_complete(payload)
+        elif isinstance(payload, AttachComplete):
+            self.attaches_completed += 1
+        elif isinstance(payload, DetachRequest):
+            self._on_detach(payload)
+
+    # -- attach -----------------------------------------------------------------------
+
+    def _on_attach_request(self, request: AttachRequest) -> None:
+        key = self._key_cache.get(request.imsi)
+        if key is not None:
+            self.cache_hits += 1
+            self._challenge(request.ue_id, request.imsi, key)
+            return
+        if self.registry is None:
+            self._reject(request.ue_id, "unknown-subscriber")
+            return
+        self.registry_fetches += 1
+        self.registry.lookup(
+            request.imsi,
+            lambda fetched: self._on_key_fetched(request, fetched))
+
+    def _on_key_fetched(self, request: AttachRequest,
+                        key: Optional[bytes]) -> None:
+        if key is None:
+            self._reject(request.ue_id, "not-published")
+            return
+        self._key_cache[request.imsi] = key
+        self._challenge(request.ue_id, request.imsi, key)
+
+    def _challenge(self, ue_id: str, imsi: str, key: bytes) -> None:
+        sqn = self._sqn.get(imsi, 0)
+        self._sqn[imsi] = sqn + 1
+        rand = bytes(self.sim.rng(f"stub:{self.name}").bytes(16))
+        vector = generate_auth_vector(key, rand, sqn=sqn)
+        self._pending_vector[ue_id] = vector
+        self.s1.send(self, AuthenticationRequest(ue_id=ue_id, rand=rand,
+                                                 autn=vector.autn, sqn=sqn))
+
+    def _on_auth_response(self, response: AuthenticationResponse) -> None:
+        vector = self._pending_vector.get(response.ue_id)
+        if vector is None:
+            return
+        if not hmac_mod.compare_digest(response.res, vector.xres):
+            del self._pending_vector[response.ue_id]
+            self.attaches_rejected += 1
+            self.s1.send(self, AuthenticationReject(ue_id=response.ue_id))
+            return
+        self.s1.send(self, SecurityModeCommand(ue_id=response.ue_id))
+
+    def _on_security_complete(self, msg: SecurityModeComplete) -> None:
+        if msg.ue_id not in self._pending_vector:
+            return
+        del self._pending_vector[msg.ue_id]
+        try:
+            address = self.pool.allocate()
+        except PoolExhausted:
+            self._reject(msg.ue_id, "no-addresses")
+            return
+        self.sessions[msg.ue_id] = address
+        self.sim.trace("attach", f"{self.name}: session created",
+                       ue=msg.ue_id, address=str(address))
+        if self.on_session_created is not None:
+            self.on_session_created(msg.ue_id, address)
+        self.s1.send(self, AttachAccept(ue_id=msg.ue_id, ue_address=address,
+                                        guti=f"{self.name}-{msg.ue_id}"))
+
+    def _on_detach(self, msg: DetachRequest) -> None:
+        address = self.sessions.pop(msg.ue_id, None)
+        if address is not None:
+            self.pool.release(address)
+            if self.on_session_deleted is not None:
+                self.on_session_deleted(msg.ue_id)
+
+    def _reject(self, ue_id: str, cause: str) -> None:
+        self.attaches_rejected += 1
+        self.s1.send(self, AttachReject(ue_id=ue_id, cause=cause))

@@ -1,0 +1,185 @@
+"""UE control plane: the SIM side of attach.
+
+A stock UE runs the same procedure against a carrier MME or a dLTE stub
+— the paper's backwards-compatibility requirement ("maintain
+compatibility between the dLTE access point and standard clients",
+§4.1). The UE verifies AUTN (mutual authentication), answers the
+challenge, and records attach timing for E7.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.epc.agents import ControlAgent, ControlChannel, ControlMessage
+from repro.epc.crypto import ue_compute_response, ue_verify_network
+from repro.epc.nas import (
+    AttachAccept,
+    AttachComplete,
+    AttachReject,
+    AttachRequest,
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DetachRequest,
+    Paging,
+    PathSwitchAck,
+    SecurityModeCommand,
+    SecurityModeComplete,
+    ServiceAccept,
+    ServiceRequest,
+    UeContextRelease,
+)
+from repro.epc.subscriber import SubscriberProfile
+from repro.net.addressing import IPv4Address
+from repro.simcore.simulator import Simulator
+
+
+class UeState(enum.Enum):
+    """UE NAS state."""
+
+    IDLE = "idle"
+    ATTACHING = "attaching"
+    ATTACHED = "attached"
+    REJECTED = "rejected"
+
+
+class UserEquipment(ControlAgent):
+    """The control-plane side of a handset."""
+
+    def __init__(self, sim: Simulator, profile: SubscriberProfile,
+                 name: Optional[str] = None,
+                 service_time_s: float = 0.1e-3) -> None:
+        super().__init__(sim, name or f"ue-{profile.imsi[-6:]}",
+                         service_time_s)
+        self.profile = profile
+        self.state = UeState.IDLE
+        self.air: Optional[ControlChannel] = None
+        self.ue_address: Optional[IPv4Address] = None
+        self.guti = ""
+        #: challenges already answered. dLTE clients roam between
+        #: *independent* cores whose SQN counters do not relate, so the
+        #: replay guard is nonce-based: a (RAND) pair may only ever be
+        #: accepted once. (Carrier AKA uses monotone SQN instead; both
+        #: prevent replaying a recorded challenge.)
+        self._seen_rands: set = set()
+        # timing
+        self.attach_started_at: Optional[float] = None
+        self.attach_completed_at: Optional[float] = None
+        self.on_attached: Optional[Callable[["UserEquipment"], None]] = None
+        self.on_rejected: Optional[Callable[["UserEquipment", str], None]] = None
+        self.on_service_resumed: Optional[
+            Callable[["UserEquipment"], None]] = None
+        self.network_auth_failures = 0
+        # ECM state (idle-mode modelling)
+        self.ecm_connected = True
+        self.went_idle_at: Optional[float] = None
+        self.service_resumed_at: Optional[float] = None
+        self.pages_received = 0
+
+    @property
+    def ue_id(self) -> str:
+        """Stable procedure correlation id."""
+        return self.name
+
+    @property
+    def attach_latency_s(self) -> Optional[float]:
+        """Attach duration, or None if not (yet) attached."""
+        if self.attach_started_at is None or self.attach_completed_at is None:
+            return None
+        return self.attach_completed_at - self.attach_started_at
+
+    def connect_air(self, channel: ControlChannel) -> None:
+        """Bind the RRC/air channel toward the serving eNodeB."""
+        self.air = channel
+
+    # -- procedures ---------------------------------------------------------------
+
+    def start_attach(self) -> None:
+        """Kick off the EPS attach."""
+        if self.air is None:
+            raise RuntimeError(f"{self.name}: no air channel (out of coverage)")
+        self.state = UeState.ATTACHING
+        self.attach_started_at = self.sim.now
+        self.attach_completed_at = None
+        self.air.send(self, AttachRequest(ue_id=self.ue_id,
+                                          imsi=self.profile.imsi))
+
+    def detach(self) -> None:
+        """Leave the network, releasing the bearer."""
+        if self.state is UeState.ATTACHED and self.air is not None:
+            self.air.send(self, DetachRequest(ue_id=self.ue_id))
+        self.state = UeState.IDLE
+        self.ue_address = None
+
+    def go_idle(self) -> None:
+        """Release the RRC connection (battery save); stays attached."""
+        if self.state is not UeState.ATTACHED:
+            raise RuntimeError("only an attached UE can go idle")
+        if not self.ecm_connected:
+            return
+        self.ecm_connected = False
+        self.went_idle_at = self.sim.now
+        self.service_resumed_at = None
+        self.air.send(self, UeContextRelease(ue_id=self.ue_id))
+
+    # -- NAS handling ------------------------------------------------------------------
+
+    def handle(self, message: ControlMessage) -> None:
+        payload = message.payload
+        if isinstance(payload, AuthenticationRequest):
+            self._on_auth_request(payload)
+        elif isinstance(payload, SecurityModeCommand):
+            self.air.send(self, SecurityModeComplete(ue_id=self.ue_id))
+        elif isinstance(payload, AttachAccept):
+            self._on_attach_accept(payload)
+        elif isinstance(payload, (AttachReject, AuthenticationReject)):
+            self.state = UeState.REJECTED
+            if self.on_rejected is not None:
+                self.on_rejected(self, getattr(payload, "cause", "rejected"))
+        elif isinstance(payload, Paging):
+            self._on_paging()
+        elif isinstance(payload, ServiceAccept):
+            self._on_service_accept()
+        elif isinstance(payload, PathSwitchAck):
+            pass  # handover confirmed; nothing to do at NAS level
+
+    def _on_auth_request(self, request: AuthenticationRequest) -> None:
+        # Mutual auth: refuse networks that cannot prove knowledge of K,
+        # and refuse replayed challenges.
+        fresh = request.rand not in self._seen_rands
+        if not fresh or not ue_verify_network(
+                self.profile.key, request.rand, request.autn,
+                sqn=request.sqn):
+            self.network_auth_failures += 1
+            self.state = UeState.REJECTED
+            if self.on_rejected is not None:
+                cause = ("replayed-challenge" if not fresh
+                         else "network-auth-failure")
+                self.on_rejected(self, cause)
+            return
+        self._seen_rands.add(request.rand)
+        res = ue_compute_response(self.profile.key, request.rand)
+        self.air.send(self, AuthenticationResponse(ue_id=self.ue_id, res=res))
+
+    def _on_paging(self) -> None:
+        self.pages_received += 1
+        if not self.ecm_connected and self.state is UeState.ATTACHED:
+            self.air.send(self, ServiceRequest(ue_id=self.ue_id))
+
+    def _on_service_accept(self) -> None:
+        if not self.ecm_connected:
+            self.ecm_connected = True
+            self.service_resumed_at = self.sim.now
+            if self.on_service_resumed is not None:
+                self.on_service_resumed(self)
+
+    def _on_attach_accept(self, accept: AttachAccept) -> None:
+        self.ue_address = accept.ue_address
+        self.guti = accept.guti
+        self.state = UeState.ATTACHED
+        self.attach_completed_at = self.sim.now
+        self.air.send(self, AttachComplete(ue_id=self.ue_id))
+        if self.on_attached is not None:
+            self.on_attached(self)

@@ -1,0 +1,45 @@
+"""The experiment harness: every table, figure, and quantified claim.
+
+One module per experiment id (see DESIGN.md §3). Each exposes a ``run``
+function returning one or more :class:`repro.metrics.ResultTable`
+objects; the benchmarks under ``benchmarks/`` execute them and print the
+rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    e3_range,
+    e4_weak_signal,
+    e5_coordination,
+    e6_mobility,
+    e7_core_scaling,
+    e8_hidden_terminal,
+    e9_x2_bandwidth,
+    e10_registries,
+    e11_mesh_backhaul,
+    e12_deployment_cost,
+    e13_idle_paging,
+    e14_nr_upgrade,
+    e15_reachability,
+    f1_path_comparison,
+    t1_design_space,
+)
+
+ALL_EXPERIMENTS = {
+    "T1": t1_design_space,
+    "F1": f1_path_comparison,
+    "E3": e3_range,
+    "E4": e4_weak_signal,
+    "E5": e5_coordination,
+    "E6": e6_mobility,
+    "E7": e7_core_scaling,
+    "E8": e8_hidden_terminal,
+    "E9": e9_x2_bandwidth,
+    "E10": e10_registries,
+    "E11": e11_mesh_backhaul,
+    "E12": e12_deployment_cost,
+    "E13": e13_idle_paging,
+    "E14": e14_nr_upgrade,
+    "E15": e15_reachability,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

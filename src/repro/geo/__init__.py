@@ -1,0 +1,18 @@
+"""Planar geometry: positions, distances, and placement generators."""
+
+from repro.geo.points import Point, distance_m
+from repro.geo.placement import (
+    cluster_placement,
+    grid_placement,
+    road_placement,
+    uniform_disk_placement,
+)
+
+__all__ = [
+    "Point",
+    "distance_m",
+    "uniform_disk_placement",
+    "grid_placement",
+    "road_placement",
+    "cluster_placement",
+]

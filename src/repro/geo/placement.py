@@ -1,0 +1,56 @@
+"""Placement generators for APs and UEs.
+
+Each generator takes an explicit ``numpy.random.Generator`` so placements
+are reproducible through the simulation's namespaced RNG registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.geo.points import Point
+
+
+def uniform_disk_placement(rng: np.random.Generator, n: int, radius_m: float,
+                           center: Point = Point(0.0, 0.0)) -> List[Point]:
+    """``n`` points uniform over a disk (area-uniform, not radius-uniform)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if radius_m <= 0:
+        raise ValueError("radius must be positive")
+    radii = radius_m * np.sqrt(rng.random(n))
+    angles = rng.random(n) * 2 * math.pi
+    return [Point(center.x + r * math.cos(a), center.y + r * math.sin(a))
+            for r, a in zip(radii, angles)]
+
+
+def grid_placement(n_cols: int, n_rows: int, spacing_m: float,
+                   origin: Point = Point(0.0, 0.0)) -> List[Point]:
+    """A regular grid, row-major from ``origin``."""
+    if n_cols <= 0 or n_rows <= 0:
+        raise ValueError("grid dimensions must be positive")
+    return [Point(origin.x + c * spacing_m, origin.y + r * spacing_m)
+            for r in range(n_rows) for c in range(n_cols)]
+
+
+def road_placement(n: int, spacing_m: float, y_m: float = 0.0,
+                   start_x_m: float = 0.0) -> List[Point]:
+    """``n`` points along a straight east-west road (AP string for E6)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [Point(start_x_m + i * spacing_m, y_m) for i in range(n)]
+
+
+def cluster_placement(rng: np.random.Generator, centers: List[Point],
+                      per_cluster: int, spread_m: float) -> List[Point]:
+    """Gaussian clusters around each center (hamlets around a town)."""
+    if per_cluster < 0:
+        raise ValueError("per_cluster must be non-negative")
+    points: List[Point] = []
+    for center in centers:
+        offsets = rng.normal(0.0, spread_m, size=(per_cluster, 2))
+        points.extend(Point(center.x + dx, center.y + dy) for dx, dy in offsets)
+    return points

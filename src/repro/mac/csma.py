@@ -1,0 +1,224 @@
+"""WiFi DCF: slotted CSMA/CA with binary exponential backoff.
+
+Two implementations of the same MAC, used to cross-validate each other:
+
+* :class:`CsmaSimulation` — an event-level slotted simulation over an
+  explicit *hearing graph*, so hidden terminals (nodes that contend for
+  the same receiver but cannot sense each other) are modelled exactly.
+  This is the engine behind E5 (legacy-WiFi baseline) and E8 (hidden
+  terminal losses vs registry coordination).
+* :func:`bianchi_throughput` — Bianchi's analytic saturation-throughput
+  model (all-hear-all, no hiddens), the standard closed form the
+  simulation must agree with in the fully-connected case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+import numpy as np
+
+#: 802.11 DCF defaults (802.11b/g-era, matching Bianchi's parametrization).
+CW_MIN = 16
+CW_MAX = 1024
+
+
+@dataclass
+class CsmaNode:
+    """One contending station.
+
+    Attributes:
+        node_id: unique name.
+        hears: node_ids whose transmissions this node can carrier-sense.
+        destination: node_id of the receiver of this node's frames (an AP,
+            or None for broadcast-style accounting at all neighbours).
+        saturated: if True the node always has a frame queued.
+    """
+
+    node_id: str
+    hears: FrozenSet[str] = frozenset()
+    destination: Optional[str] = None
+    saturated: bool = True
+
+    # runtime state (managed by the simulation)
+    backoff: int = field(default=0, repr=False)
+    cw: int = field(default=CW_MIN, repr=False)
+    tx_remaining: int = field(default=0, repr=False)
+    sent: int = field(default=0, repr=False)
+    delivered: int = field(default=0, repr=False)
+    collided: int = field(default=0, repr=False)
+
+
+@dataclass
+class CsmaResult:
+    """Aggregate outcome of a CSMA run."""
+
+    slots: int
+    frame_slots: int
+    delivered: Dict[str, int]
+    collided: Dict[str, int]
+    busy_slots: int
+
+    @property
+    def total_delivered(self) -> int:
+        """Frames successfully received across all nodes."""
+        return sum(self.delivered.values())
+
+    @property
+    def total_collided(self) -> int:
+        """Frames lost to collisions across all nodes."""
+        return sum(self.collided.values())
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of transmitted frames that collided."""
+        attempts = self.total_delivered + self.total_collided
+        return self.total_collided / attempts if attempts else 0.0
+
+    @property
+    def channel_utilization(self) -> float:
+        """Fraction of slots carrying a *successful* frame's payload."""
+        return self.total_delivered * self.frame_slots / self.slots if self.slots else 0.0
+
+
+class CsmaSimulation:
+    """Slotted DCF over a hearing graph.
+
+    Each slot: every idle node with a pending frame decrements its backoff
+    if it senses the medium idle (no currently-transmitting node in its
+    ``hears`` set); at backoff zero it transmits for ``frame_slots`` slots.
+    A frame is delivered iff no other transmission overlapped in time at
+    the *receiver's* hearing set; otherwise every overlapped transmitter
+    collides, doubles its CW (to CW_MAX) and redraws backoff.
+
+    The slot clock abstracts SIFS/DIFS/ACK detail into the frame length;
+    Bianchi's model makes the same abstraction, so they are comparable.
+    """
+
+    def __init__(self, nodes: List[CsmaNode], rng: np.random.Generator,
+                 frame_slots: int = 50) -> None:
+        if frame_slots <= 0:
+            raise ValueError("frame_slots must be positive")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids")
+        self.nodes = {n.node_id: n for n in nodes}
+        self.rng = rng
+        self.frame_slots = frame_slots
+        self.busy_slots = 0
+        for node in nodes:
+            node.cw = CW_MIN
+            node.backoff = int(self.rng.integers(0, node.cw))
+            node.tx_remaining = 0
+        # transmissions in flight: node_id -> set of node_ids that
+        # transmitted concurrently at any point (for collision detection)
+        self._overlaps: Dict[str, set] = {}
+
+    def _senses_busy(self, node: CsmaNode, transmitting: List[str]) -> bool:
+        return any(t in node.hears for t in transmitting)
+
+    def run(self, slots: int) -> CsmaResult:
+        """Advance the simulation ``slots`` slots and return aggregates."""
+        for _ in range(slots):
+            self._step()
+        delivered = {nid: n.delivered for nid, n in self.nodes.items()}
+        collided = {nid: n.collided for nid, n in self.nodes.items()}
+        return CsmaResult(slots=slots, frame_slots=self.frame_slots,
+                          delivered=delivered, collided=collided,
+                          busy_slots=self.busy_slots)
+
+    def _step(self) -> None:
+        transmitting = [nid for nid, n in self.nodes.items() if n.tx_remaining > 0]
+        if transmitting:
+            self.busy_slots += 1
+        # record overlaps for in-flight frames
+        for nid in transmitting:
+            others = [o for o in transmitting if o != nid]
+            self._overlaps.setdefault(nid, set()).update(others)
+
+        # progress transmissions; finish ones that end this slot
+        finished: List[str] = []
+        for nid in transmitting:
+            node = self.nodes[nid]
+            node.tx_remaining -= 1
+            if node.tx_remaining == 0:
+                finished.append(nid)
+        for nid in finished:
+            self._complete(nid)
+
+        # backoff countdown for idle contenders
+        still_transmitting = [nid for nid, n in self.nodes.items()
+                              if n.tx_remaining > 0]
+        starters: List[CsmaNode] = []
+        for node in self.nodes.values():
+            if node.tx_remaining > 0 or not node.saturated:
+                continue
+            if self._senses_busy(node, still_transmitting):
+                continue
+            if node.backoff > 0:
+                node.backoff -= 1
+            if node.backoff == 0:
+                starters.append(node)
+        for node in starters:
+            node.tx_remaining = self.frame_slots
+            node.sent += 1
+            self._overlaps[node.node_id] = set()
+
+    def _complete(self, nid: str) -> None:
+        node = self.nodes[nid]
+        overlapped = self._overlaps.pop(nid, set())
+        receiver = self.nodes.get(node.destination) if node.destination else None
+        if receiver is not None:
+            # only overlaps audible at the receiver corrupt the frame
+            harmful = {o for o in overlapped
+                       if o in receiver.hears or o == receiver.node_id}
+        else:
+            harmful = overlapped
+        if harmful:
+            node.collided += 1
+            node.cw = min(node.cw * 2, CW_MAX)
+        else:
+            node.delivered += 1
+            node.cw = CW_MIN
+        node.backoff = int(self.rng.integers(0, node.cw))
+        if node.backoff == 0:
+            node.backoff = 1  # DIFS gap: never back-to-back zero-slot grab
+
+
+def bianchi_throughput(n_nodes: int, frame_slots: int = 50,
+                       cw_min: int = CW_MIN, retry_stages: int = 6,
+                       tol: float = 1e-10) -> float:
+    """Bianchi (2000) saturation throughput, normalized to channel rate.
+
+    Solves the (tau, p) fixed point for ``n_nodes`` saturated stations
+    with binary exponential backoff over ``retry_stages`` doublings, then
+    returns the fraction of time the channel carries successful payload.
+    Payload, success, and collision durations are all ``frame_slots``
+    slots (the same abstraction as :class:`CsmaSimulation`).
+    """
+    if n_nodes <= 0:
+        raise ValueError("need at least one node")
+    w = float(cw_min)
+    m = retry_stages
+    tau = 0.1
+    for _ in range(10_000):
+        p = 1.0 - (1.0 - tau) ** (n_nodes - 1)
+        if p >= 1.0:
+            p = 1.0 - 1e-12
+        denom = ((1 - 2 * p) * (w + 1) + p * w * (1 - (2 * p) ** m))
+        new_tau = 2 * (1 - 2 * p) / denom
+        if abs(new_tau - tau) < tol:
+            tau = new_tau
+            break
+        tau = 0.5 * tau + 0.5 * new_tau
+    p_tr = 1.0 - (1.0 - tau) ** n_nodes
+    if p_tr == 0.0:
+        return 0.0
+    p_s = n_nodes * tau * (1.0 - tau) ** (n_nodes - 1) / p_tr
+    slot_idle = 1.0
+    slot_busy = float(frame_slots)
+    numerator = p_s * p_tr * slot_busy
+    denominator = ((1 - p_tr) * slot_idle + p_tr * p_s * slot_busy
+                   + p_tr * (1 - p_s) * slot_busy)
+    return numerator / denominator

@@ -1,0 +1,180 @@
+"""LTE downlink/uplink PRB schedulers.
+
+Each scheduler answers one question per TTI: which user gets each PRB of
+the set this cell is allowed to use. The allowed set comes from the
+coordination layer (full grid when standalone, a slice under fair
+sharing, a jointly-optimized slice in cooperative mode), which is exactly
+the paper's §4.3 division of labor: coordination decides the slices,
+the local scheduler fills them.
+
+Implemented policies:
+
+* :class:`RoundRobinScheduler` — cyclic, rate-oblivious.
+* :class:`MaxCiScheduler` — always the best-channel user (max capacity,
+  min fairness).
+* :class:`ProportionalFairScheduler` — the industry default: maximize
+  instantaneous-rate / EWMA-average-rate.
+* :class:`QosAwareScheduler` — PF with a strict-priority guarantee layer
+  for bearers carrying a guaranteed bit rate (used by cooperative mode's
+  "QoS aware joint flow scheduling").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.phy.mcs import lte_efficiency_for_sinr
+from repro.phy.resource_grid import bits_per_prb
+
+
+@dataclass
+class SchedulableUser:
+    """Per-TTI view of one attached user.
+
+    Attributes:
+        user_id: stable identity across TTIs (EWMA state keys off it).
+        sinr_db: current wideband SINR toward this user.
+        backlog_bits: queued demand; users with zero backlog are skipped.
+        gbr_bps: guaranteed bit rate, 0 for best-effort.
+        priority: lower value = more important, used by QoS scheduler.
+    """
+
+    user_id: str
+    sinr_db: float
+    backlog_bits: float = float("inf")
+    gbr_bps: float = 0.0
+    priority: int = 9
+
+    @property
+    def efficiency(self) -> float:
+        """Spectral efficiency at the current SINR (0 when unreachable)."""
+        return lte_efficiency_for_sinr(self.sinr_db)
+
+
+class LteScheduler(ABC):
+    """Base class: allocate a PRB set among users, track average rates."""
+
+    #: EWMA horizon for PF average-rate tracking, in TTIs.
+    PF_WINDOW_TTIS = 100.0
+
+    def __init__(self) -> None:
+        self._avg_rate_bps: Dict[str, float] = {}
+
+    def allocate(self, users: Sequence[SchedulableUser],
+                 prbs: FrozenSet[int]) -> Dict[str, FrozenSet[int]]:
+        """Assign each PRB in ``prbs`` to at most one user.
+
+        Users with zero efficiency (below CQI 1) or zero backlog receive
+        nothing. Returns {user_id: prb set}; unassigned PRBs are simply
+        absent. Also updates the PF rate averages.
+        """
+        eligible = [u for u in users if u.efficiency > 0 and u.backlog_bits > 0]
+        grants: Dict[str, List[int]] = {}
+        if eligible and prbs:
+            grants = self._assign(eligible, sorted(prbs))
+        result = {uid: frozenset(g) for uid, g in grants.items() if g}
+        self._update_averages(users, result)
+        return result
+
+    @abstractmethod
+    def _assign(self, users: List[SchedulableUser],
+                prbs: List[int]) -> Dict[str, List[int]]:
+        """Policy-specific assignment over a non-empty eligible set."""
+
+    # -- rate accounting ----------------------------------------------------
+
+    def _update_averages(self, users: Sequence[SchedulableUser],
+                         grants: Dict[str, FrozenSet[int]]) -> None:
+        alpha = 1.0 / self.PF_WINDOW_TTIS
+        for user in users:
+            served = len(grants.get(user.user_id, ()))
+            inst = served * bits_per_prb(user.efficiency) * 1e3  # bits/s
+            prev = self._avg_rate_bps.get(user.user_id, 0.0)
+            self._avg_rate_bps[user.user_id] = (1 - alpha) * prev + alpha * inst
+
+    def average_rate_bps(self, user_id: str) -> float:
+        """EWMA throughput of ``user_id`` (0 for never-seen users)."""
+        return self._avg_rate_bps.get(user_id, 0.0)
+
+    def forget(self, user_id: str) -> None:
+        """Drop EWMA state for a departed user."""
+        self._avg_rate_bps.pop(user_id, None)
+
+
+class RoundRobinScheduler(LteScheduler):
+    """Cycle PRBs across users regardless of channel quality."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def _assign(self, users: List[SchedulableUser],
+                prbs: List[int]) -> Dict[str, List[int]]:
+        grants: Dict[str, List[int]] = {u.user_id: [] for u in users}
+        for i, prb in enumerate(prbs):
+            user = users[(self._next + i) % len(users)]
+            grants[user.user_id].append(prb)
+        self._next = (self._next + len(prbs)) % max(len(users), 1)
+        return grants
+
+
+class MaxCiScheduler(LteScheduler):
+    """Give every PRB to the user with the best channel."""
+
+    def _assign(self, users: List[SchedulableUser],
+                prbs: List[int]) -> Dict[str, List[int]]:
+        best = max(users, key=lambda u: (u.efficiency, u.user_id))
+        return {best.user_id: list(prbs)}
+
+
+class ProportionalFairScheduler(LteScheduler):
+    """Maximize sum log-rate: pick argmax of instantaneous/average rate.
+
+    PRBs are granted greedily one at a time; the in-TTI grant count feeds
+    back into the metric so one TTI already spreads PRBs when averages tie.
+    """
+
+    def _assign(self, users: List[SchedulableUser],
+                prbs: List[int]) -> Dict[str, List[int]]:
+        grants: Dict[str, List[int]] = {u.user_id: [] for u in users}
+        floor = 1e3  # avoids div-by-zero for new users, biases toward them
+        for prb in prbs:
+            def metric(user: SchedulableUser) -> float:
+                inst = bits_per_prb(user.efficiency) * 1e3
+                avg = max(self._avg_rate_bps.get(user.user_id, 0.0), floor)
+                in_tti = len(grants[user.user_id]) * inst
+                return inst / (avg + in_tti)
+
+            best = max(users, key=lambda u: (metric(u), u.user_id))
+            grants[best.user_id].append(prb)
+        return grants
+
+
+class QosAwareScheduler(ProportionalFairScheduler):
+    """GBR-first scheduling: guarantee bit rates, then PF the remainder.
+
+    Bearers with ``gbr_bps > 0`` are served in priority order until their
+    guarantee is met for this TTI (gbr x TTI bits); remaining PRBs go to
+    the PF policy over everyone. This is the scheduler cooperative mode
+    installs for "QoS aware joint flow scheduling between APs" (§4.3).
+    """
+
+    def _assign(self, users: List[SchedulableUser],
+                prbs: List[int]) -> Dict[str, List[int]]:
+        grants: Dict[str, List[int]] = {u.user_id: [] for u in users}
+        remaining = list(prbs)
+        gbr_users = sorted((u for u in users if u.gbr_bps > 0),
+                           key=lambda u: (u.priority, u.user_id))
+        for user in gbr_users:
+            needed_bits = user.gbr_bps * 1e-3  # per TTI
+            per_prb = bits_per_prb(user.efficiency)
+            while remaining and needed_bits > 0:
+                grants[user.user_id].append(remaining.pop(0))
+                needed_bits -= per_prb
+        if remaining:
+            pf = super()._assign(users, remaining)
+            for uid, extra in pf.items():
+                grants[uid].extend(extra)
+        return grants

@@ -1,0 +1,17 @@
+"""Measurement utilities: fairness, percentiles, time series, tables."""
+
+from repro.metrics.stats import (
+    TimeSeries,
+    jain_fairness,
+    percentile,
+    summarize,
+)
+from repro.metrics.tables import ResultTable
+
+__all__ = [
+    "TimeSeries",
+    "jain_fairness",
+    "percentile",
+    "summarize",
+    "ResultTable",
+]

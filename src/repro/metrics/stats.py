@@ -1,0 +1,95 @@
+"""Statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def jain_fairness(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 = perfectly equal; 1/n = one user gets everything. The metric the
+    paper implies when claiming fair sharing achieves "similar fairness
+    characteristics to what WiFi achieves today" (§4.3).
+    """
+    xs = np.asarray(list(allocations), dtype=float)
+    if xs.size == 0:
+        raise ValueError("fairness of an empty allocation is undefined")
+    if (xs < 0).any():
+        raise ValueError("allocations must be non-negative")
+    denom = xs.size * float((xs ** 2).sum())
+    if denom == 0:
+        return 1.0  # all-zero: degenerate but equal
+    return float(xs.sum()) ** 2 / denom
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100), linear interpolation."""
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty data is undefined")
+    return float(np.percentile(arr, q))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p95 / min / max / count in one dict."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize empty data")
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with rate/interval analysis."""
+
+    name: str = ""
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time_s: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self.points and time_s < self.points[-1][0]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time_s} < {self.points[-1][0]}")
+        self.points.append((time_s, value))
+
+    @property
+    def times(self) -> List[float]:
+        """Sample times."""
+        return [t for t, _v in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        """Sample values."""
+        return [v for _t, v in self.points]
+
+    def rate_per_s(self) -> float:
+        """(last - first value) / elapsed, for cumulative counters."""
+        if len(self.points) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = self.points[0], self.points[-1]
+        if t1 == t0:
+            return 0.0
+        return (v1 - v0) / (t1 - t0)
+
+    def gaps_longer_than(self, threshold_s: float) -> List[Tuple[float, float]]:
+        """Sample intervals exceeding ``threshold_s`` (stall detection)."""
+        return [(t0, t1) for (t0, _), (t1, _)
+                in zip(self.points, self.points[1:])
+                if t1 - t0 > threshold_s]
+
+    def __len__(self) -> int:
+        return len(self.points)

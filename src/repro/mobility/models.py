@@ -1,0 +1,111 @@
+"""Movement models: processes that update a position over time."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.geo.points import Point
+from repro.simcore.simulator import Simulator
+
+PositionCallback = Callable[[Point], None]
+
+
+class _Mover:
+    """Shared machinery: tick the position every ``update_interval_s``."""
+
+    def __init__(self, sim: Simulator, start: Point, speed_m_s: float,
+                 update_interval_s: float = 0.5,
+                 on_move: Optional[PositionCallback] = None,
+                 name: str = "mover") -> None:
+        if speed_m_s < 0:
+            raise ValueError("speed must be non-negative")
+        if update_interval_s <= 0:
+            raise ValueError("update interval must be positive")
+        self.sim = sim
+        self.position = start
+        self.speed_m_s = speed_m_s
+        self.update_interval_s = update_interval_s
+        self.on_move = on_move
+        self.name = name
+        self.distance_traveled_m = 0.0
+        self._process = None
+
+    def start(self) -> None:
+        """Begin moving."""
+        self._process = self.sim.process(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        """Freeze in place."""
+        if self._process is not None and self._process.is_alive:
+            self._process.kill("mover stopped")
+
+    def _step_to(self, new_position: Point) -> None:
+        self.distance_traveled_m += self.position.distance_to(new_position)
+        self.position = new_position
+        if self.on_move is not None:
+            self.on_move(self.position)
+
+    def _run(self):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class LinearMover(_Mover):
+    """Drives a straight segment from ``start`` toward ``destination``.
+
+    Stops (process ends) on arrival — the E6 road trip.
+    """
+
+    def __init__(self, sim: Simulator, start: Point, destination: Point,
+                 speed_m_s: float, **kwargs) -> None:
+        super().__init__(sim, start, speed_m_s, **kwargs)
+        self.destination = destination
+
+    @property
+    def arrived(self) -> bool:
+        """True once the destination is reached."""
+        return self.position == self.destination
+
+    def _run(self):
+        step = self.speed_m_s * self.update_interval_s
+        if step == 0:
+            return
+        while not self.arrived:
+            yield self.sim.timeout(self.update_interval_s)
+            self._step_to(self.position.toward(self.destination, step))
+
+
+class RandomWaypointMover(_Mover):
+    """Classic random waypoint inside a disk: pick a point, walk, repeat."""
+
+    def __init__(self, sim: Simulator, start: Point, speed_m_s: float,
+                 area_center: Point, area_radius_m: float,
+                 pause_s: float = 2.0, **kwargs) -> None:
+        super().__init__(sim, start, speed_m_s, **kwargs)
+        if area_radius_m <= 0:
+            raise ValueError("area radius must be positive")
+        if pause_s < 0:
+            raise ValueError("pause must be non-negative")
+        self.area_center = area_center
+        self.area_radius_m = area_radius_m
+        self.pause_s = pause_s
+
+    def _pick_waypoint(self) -> Point:
+        rng = self.sim.rng(f"mobility:{self.name}")
+        r = self.area_radius_m * math.sqrt(float(rng.random()))
+        theta = 2 * math.pi * float(rng.random())
+        return Point(self.area_center.x + r * math.cos(theta),
+                     self.area_center.y + r * math.sin(theta))
+
+    def _run(self):
+        step = self.speed_m_s * self.update_interval_s
+        if step == 0:
+            return
+        while True:
+            waypoint = self._pick_waypoint()
+            while self.position != waypoint:
+                yield self.sim.timeout(self.update_interval_s)
+                self._step_to(self.position.toward(waypoint, step))
+            if self.pause_s:
+                yield self.sim.timeout(self.pause_s)

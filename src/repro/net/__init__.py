@@ -1,0 +1,28 @@
+"""IP substrate: addresses, packets, links, routers, tunnels, Internet.
+
+The paper's Figure 1 contrast is a *path* contrast: in carrier LTE every
+user packet is GTP-tunneled from the eNodeB to a distant EPC before it
+reaches the Internet; in dLTE the AP decapsulates locally and forwards
+plain IP ("dLTE terminates all LTE tunnels at the AP and outputs the
+client's unencapsulated IP traffic", §4.1). This package provides the
+pieces both paths are made of: rate/delay links with drop-tail queues,
+static-routing nodes, GTP-U encapsulation, and a latency-modelled
+Internet core.
+"""
+
+from repro.net.addressing import AddressPool, IPv4Address
+from repro.net.internet import InternetCore
+from repro.net.links import Link
+from repro.net.nat import NatRouter
+from repro.net.nodes import Host, NetworkNode, Router
+from repro.net.packet import Packet
+from repro.net.tunnel import GTP_HEADER_BYTES, GtpTunnel, TunnelEndpoint
+
+__all__ = [
+    "AddressPool", "IPv4Address",
+    "InternetCore",
+    "Link",
+    "NetworkNode", "Host", "Router", "NatRouter",
+    "Packet",
+    "GtpTunnel", "TunnelEndpoint", "GTP_HEADER_BYTES",
+]

@@ -1,0 +1,94 @@
+"""Point-to-point links with rate, delay, and drop-tail queues.
+
+A link is the unit of backhaul modelling: the AP's Internet uplink, the
+S1 path to a carrier EPC, the X2 path between peers. Serialization time
+(size/rate) plus propagation delay plus queueing; a finite queue drops
+from the tail, which is where "backhaul constrained" (E9) bites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.simcore.simulator import Simulator
+
+
+class Link:
+    """Unidirectional link delivering packets to a receive callback.
+
+    Args:
+        sim: the event kernel.
+        rate_bps: serialization rate; ``float('inf')`` for ideal links.
+        delay_s: propagation delay.
+        queue_packets: drop-tail queue capacity (packets awaiting
+            serialization); the packet in service is not counted.
+        name: for hop recording and diagnostics.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
+                 queue_packets: int = 100, name: str = "link") -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive (use inf for ideal)")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if queue_packets < 1:
+            raise ValueError("queue must hold at least one packet")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue_packets = queue_packets
+        self.name = name
+        self.receiver: Optional[Callable[[Packet], None]] = None
+        self._queue: list = []
+        self._busy = False
+        # counters
+        self.delivered = 0
+        self.dropped = 0
+        self.bytes_sent = 0
+
+    def connect(self, receiver: Callable[[Packet], None]) -> None:
+        """Attach the downstream receive function."""
+        self.receiver = receiver
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (excludes the one being serialized)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet; returns False (and counts a drop) if full."""
+        if self.receiver is None:
+            raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        if self._busy:
+            if len(self._queue) >= self.queue_packets:
+                self.dropped += 1
+                return False
+            self._queue.append(packet)
+            return True
+        self._serialize(packet)
+        return True
+
+    def _serialize(self, packet: Packet) -> None:
+        self._busy = True
+        tx_time = (packet.size_bytes * 8.0 / self.rate_bps
+                   if self.rate_bps != float("inf") else 0.0)
+        self.sim.schedule(tx_time, self._transmitted, packet)
+
+    def _transmitted(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size_bytes
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+        if self._queue:
+            self._serialize(self._queue.pop(0))
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        self.receiver(packet)
+
+    def __repr__(self) -> str:
+        rate = ("inf" if self.rate_bps == float("inf")
+                else f"{self.rate_bps/1e6:g}Mbps")
+        return (f"<Link {self.name} {rate} {self.delay_s*1e3:g}ms "
+                f"q={self.queue_depth}/{self.queue_packets}>")

@@ -1,0 +1,67 @@
+"""The packet: what every layer of the reproduction passes around."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.net.addressing import IPv4Address
+
+#: IPv4 + transport header budget charged to every packet.
+IP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated IP datagram.
+
+    Attributes:
+        src / dst: IP endpoints. Tunnels rewrite these and stash the
+            originals on the ``encap_stack``.
+        size_bytes: total on-wire size including headers; tunneling adds
+            to it, decapsulation subtracts.
+        flow_id: transport flow tag, "" for control traffic.
+        seq: transport sequence number (flow-scoped).
+        payload: opaque application/control content (e.g. a NAS message).
+        created_at: simulated birth time, for latency accounting.
+        hops: network nodes traversed, appended by the forwarding engine —
+            this is how F1 reports path length.
+        encap_stack: saved (src, dst, size) frames pushed by tunnels.
+    """
+
+    src: Optional[IPv4Address]
+    dst: Optional[IPv4Address]
+    size_bytes: int
+    flow_id: str = ""
+    seq: int = 0
+    payload: Any = None
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: List[str] = field(default_factory=list)
+    encap_stack: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    @property
+    def hop_count(self) -> int:
+        """Number of forwarding nodes traversed so far."""
+        return len(self.hops)
+
+    @property
+    def tunnel_depth(self) -> int:
+        """How many encapsulation layers are currently on the packet."""
+        return len(self.encap_stack)
+
+    def record_hop(self, node_name: str) -> None:
+        """Append a traversed node (called by the forwarding engine)."""
+        self.hops.append(node_name)
+
+    def age(self, now: float) -> float:
+        """Seconds since the packet was created."""
+        return now - self.created_at

@@ -1,0 +1,52 @@
+"""Large-scale fading: spatially-consistent lognormal shadowing.
+
+Shadowing must be *consistent*: the same (tx, rx) pair must see the same
+shadowing draw every time it is evaluated within a coherence cell,
+otherwise a stationary UE would see its link flicker. We hash the pair of
+grid-quantized positions into a per-link seed, so shadowing is a
+deterministic field over space — two UEs behind the same hill both fade.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.geo.points import Point
+
+
+class ShadowingField:
+    """Deterministic lognormal shadowing field.
+
+    Args:
+        sigma_db: standard deviation of the shadowing in dB (typical macro
+            values: 6-10 dB; 0 disables shadowing).
+        coherence_m: grid cell size over which shadowing is constant.
+        seed: field seed; different seeds give independent terrains.
+    """
+
+    def __init__(self, sigma_db: float = 8.0, coherence_m: float = 50.0,
+                 seed: int = 0) -> None:
+        if sigma_db < 0:
+            raise ValueError("sigma must be non-negative")
+        if coherence_m <= 0:
+            raise ValueError("coherence distance must be positive")
+        self.sigma_db = sigma_db
+        self.coherence_m = coherence_m
+        self.seed = seed
+
+    def _cell(self, p: Point) -> tuple:
+        return (int(p.x // self.coherence_m), int(p.y // self.coherence_m))
+
+    def shadowing_db(self, tx: Point, rx: Point) -> float:
+        """Shadowing loss (dB, signed) for the (tx, rx) link.
+
+        Symmetric in its arguments (radio reciprocity).
+        """
+        if self.sigma_db == 0:
+            return 0.0
+        a, b = sorted([self._cell(tx), self._cell(rx)])
+        key = f"{self.seed}:{a[0]},{a[1]}:{b[0]},{b[1]}".encode()
+        rng = np.random.default_rng(zlib.crc32(key))
+        return float(rng.normal(0.0, self.sigma_db))

@@ -1,0 +1,132 @@
+"""Link budget: from transmit power and geometry to SINR.
+
+This glues the pieces together: a :class:`Radio` (power, gains, noise
+figure, height), a propagation model, optional shadowing, and a set of
+interferers combine into a received power and an SINR. The §3.2 uplink
+asymmetry appears here: LTE's SC-FDMA single-carrier uplink runs the PA
+~3 dB closer to saturation than OFDM can (PAPR backoff), which we model
+as an ``ul_papr_advantage_db`` credit on LTE client radios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from repro.geo.points import Point
+from repro.phy.fading import ShadowingField
+from repro.phy.propagation import PropagationModel
+from repro.phy.units import db_to_linear, linear_to_db, thermal_noise_dbm
+
+
+@dataclass
+class Radio:
+    """One end of a radio link.
+
+    Attributes:
+        position: location on the plane.
+        tx_power_dbm: conducted transmit power.
+        antenna_gain_dbi: scalar antenna gain (applies both ways); ignored
+            in the direction computation when ``antenna`` is set.
+        noise_figure_db: receiver noise figure.
+        height_m: antenna height above ground.
+        cable_loss_db: feeder loss between PA and antenna.
+        ul_papr_advantage_db: extra usable PA headroom for single-carrier
+            uplinks (SC-FDMA); 0 for OFDM clients.
+        antenna: optional directional pattern (e.g.
+            :class:`repro.phy.antenna.SectorAntenna`); when present, gain
+            toward a peer is evaluated from the pattern.
+    """
+
+    position: Point
+    tx_power_dbm: float = 23.0
+    antenna_gain_dbi: float = 0.0
+    noise_figure_db: float = 7.0
+    height_m: float = 1.5
+    cable_loss_db: float = 0.0
+    ul_papr_advantage_db: float = 0.0
+    antenna: Optional[object] = None
+
+    def gain_toward_dbi(self, other: Point) -> float:
+        """Antenna gain toward a peer position."""
+        if self.antenna is not None:
+            return self.antenna.gain_toward(self.position, other)
+        return self.antenna_gain_dbi
+
+    @property
+    def peak_gain_dbi(self) -> float:
+        """Best-case antenna gain (boresight for directional patterns)."""
+        if self.antenna is not None:
+            return self.antenna.peak_gain_dbi
+        return self.antenna_gain_dbi
+
+    @property
+    def eirp_dbm(self) -> float:
+        """Effective isotropic radiated power (at boresight)."""
+        return (self.tx_power_dbm + self.ul_papr_advantage_db
+                + self.peak_gain_dbi - self.cable_loss_db)
+
+
+def received_power_dbm(tx: Radio, rx: Radio, model: PropagationModel,
+                       freq_mhz: float,
+                       shadowing: Optional[ShadowingField] = None) -> float:
+    """Received signal power at ``rx`` from ``tx``, in dBm.
+
+    Directional patterns apply on both ends: the transmitter's gain
+    toward the receiver and vice versa.
+    """
+    dist = tx.position.distance_to(rx.position)
+    loss = model.path_loss_db(dist, freq_mhz)
+    if shadowing is not None:
+        loss += shadowing.shadowing_db(tx.position, rx.position)
+    tx_eirp = (tx.tx_power_dbm + tx.ul_papr_advantage_db
+               + tx.gain_toward_dbi(rx.position) - tx.cable_loss_db)
+    return tx_eirp - loss + rx.gain_toward_dbi(tx.position) - rx.cable_loss_db
+
+
+def sinr_db(signal_dbm: float, interferer_dbms: Iterable[float],
+            noise_dbm: float) -> float:
+    """Combine a signal with interferers and noise into an SINR in dB."""
+    denom_mw = db_to_linear(noise_dbm)
+    for i_dbm in interferer_dbms:
+        denom_mw += db_to_linear(i_dbm)
+    return signal_dbm - linear_to_db(denom_mw)
+
+
+@dataclass
+class LinkBudget:
+    """A configured point-to-point budget evaluator.
+
+    Bundles the propagation model, frequency, bandwidth, and shadowing so
+    callers evaluate links with one call::
+
+        lb = LinkBudget(model, freq_mhz=881.5, bandwidth_hz=10e6)
+        snr = lb.snr_db(ap_radio, ue_radio)
+    """
+
+    model: PropagationModel
+    freq_mhz: float
+    bandwidth_hz: float
+    shadowing: Optional[ShadowingField] = None
+    interferers: Tuple[Radio, ...] = field(default_factory=tuple)
+
+    def rx_power_dbm(self, tx: Radio, rx: Radio) -> float:
+        """Received power from ``tx`` at ``rx``."""
+        return received_power_dbm(tx, rx, self.model, self.freq_mhz,
+                                  self.shadowing)
+
+    def noise_dbm(self, rx: Radio) -> float:
+        """Noise floor at ``rx`` over the configured bandwidth."""
+        return thermal_noise_dbm(self.bandwidth_hz, rx.noise_figure_db)
+
+    def snr_db(self, tx: Radio, rx: Radio) -> float:
+        """Signal-to-noise ratio (no interference term)."""
+        return self.rx_power_dbm(tx, rx) - self.noise_dbm(rx)
+
+    def sinr_db(self, tx: Radio, rx: Radio,
+                interferers: Optional[Iterable[Radio]] = None) -> float:
+        """SINR including the configured (or overridden) interferer set."""
+        sources = self.interferers if interferers is None else tuple(interferers)
+        interference = [self.rx_power_dbm(i, rx) for i in sources if i is not tx]
+        return sinr_db(self.rx_power_dbm(tx, rx), interference,
+                       self.noise_dbm(rx))

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+Every subsystem in the dLTE reproduction runs on this kernel: a binary-heap
+event queue with a simulated clock, lightweight generator-based processes
+(in the style of simpy), and per-component deterministic random streams.
+
+The kernel is deliberately small and allocation-light: the MAC-layer
+experiments schedule millions of events (one per TTI per cell), so
+``Simulator.schedule`` and the run loop are the hot path of the whole
+reproduction.
+"""
+
+from repro.simcore.events import Event, EventCancelled, Timeout
+from repro.simcore.process import Process, ProcessKilled
+from repro.simcore.rng import RngRegistry
+from repro.simcore.simulator import ScheduledCall, Simulator
+from repro.simcore.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "EventCancelled",
+    "Timeout",
+    "Process",
+    "ProcessKilled",
+    "RngRegistry",
+    "ScheduledCall",
+    "Simulator",
+    "Tracer",
+    "TraceEvent",
+]

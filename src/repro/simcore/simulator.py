@@ -1,0 +1,145 @@
+"""The event loop: a simulated clock over a binary-heap run queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.simcore.events import AllOf, AnyOf, Event, Timeout
+from repro.simcore.rng import RngRegistry
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already run)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with a float-seconds clock.
+
+    Determinism: events at equal times run in scheduling (FIFO) order,
+    enforced by a monotonic sequence number in the heap entries. All
+    randomness flows through :attr:`rng`, a registry of named
+    ``numpy.random.Generator`` streams derived from one seed, so a run is
+    fully reproducible from ``(seed, topology)``.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.now: float = start_time
+        self.rng = RngRegistry(seed)
+        self._heap: List[Tuple[float, int, ScheduledCall, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_executed = 0
+        #: optional simcore.trace.Tracer; see :meth:`trace`
+        self.tracer = None
+
+    def trace(self, category: str, message: str, **fields: Any) -> None:
+        """Record a trace event if a tracer is installed (else no-op)."""
+        if self.tracer is not None:
+            self.tracer.record(self.now, category, message, **fields)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        handle = ScheduledCall(time)
+        heapq.heappush(self._heap, (time, next(self._seq), handle, fn, args))
+        return handle
+
+    def call_soon(self, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at the current time, after pending same-time work."""
+        return self.at(self.now, fn, *args)
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":  # noqa: F821
+        """Start a generator-based process (see :class:`simcore.Process`)."""
+        from repro.simcore.process import Process
+
+        return Process(self, generator, name)
+
+    # -- run loop -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled call. Returns False if queue empty."""
+        while self._heap:
+            time, _seq, handle, fn, args = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_executed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or event budget spent.
+
+        Returns the simulated time at which the run stopped. When stopped by
+        ``until``, the clock is advanced to exactly ``until`` and events
+        scheduled at later times remain queued.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                next_time = self._heap[0][0]
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                if self.step():
+                    executed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def queue_length(self) -> int:
+        """Number of entries currently in the run queue (incl. cancelled)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self.now:.6f}s queued={len(self._heap)} "
+                f"executed={self.events_executed}>")

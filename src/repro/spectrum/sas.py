@@ -1,0 +1,166 @@
+"""The centralized SAS: one API-driven grant database (CBRS model).
+
+"In the United States, the Citizen's Broadband Radio Service will use
+automated Spectrum Access Systems, contracted by the FCC and reachable
+via API, to dole out geolocated licenses … based on local demand" (§4.3,
+ref [38]).
+
+Characteristics measured in E10: fast joins and queries (one RTT plus
+processing), but a single point of failure — when the SAS is down,
+nobody can join or discover.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.simcore.simulator import Simulator
+from repro.spectrum.grants import ApRecord, SpectrumGrant, in_contention
+from repro.spectrum.registry import (
+    DiscoverCallback,
+    GrantCallback,
+    SpectrumRegistry,
+)
+
+
+class SasRegistry(SpectrumRegistry):
+    """One central grant server.
+
+    Args:
+        rtt_s: client-to-SAS round trip.
+        processing_s: server-side handling per request.
+        max_density_per_domain: refuse a grant when the contention domain
+            already holds this many grants (local-demand admission, as a
+            SAS would enforce).
+    """
+
+    #: CBRS-style lease: a grant is valid this long past its last
+    #: successful heartbeat; None disables leasing (perpetual grants).
+    DEFAULT_LEASE_S = 240.0
+
+    def __init__(self, sim: Simulator, rtt_s: float = 0.050,
+                 processing_s: float = 0.010,
+                 max_density_per_domain: Optional[int] = None,
+                 lease_s: Optional[float] = None) -> None:
+        super().__init__(sim)
+        if rtt_s < 0 or processing_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if lease_s is not None and lease_s <= 0:
+            raise ValueError("lease must be positive (or None)")
+        self.rtt_s = rtt_s
+        self.processing_s = processing_s
+        self.max_density_per_domain = max_density_per_domain
+        self.lease_s = lease_s
+        self._grants: Dict[str, SpectrumGrant] = {}
+        self._grant_ids = itertools.count(1)
+        self._down = False
+        self.refused = 0
+        self.heartbeats_served = 0
+
+    # -- availability ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the SAS offline (E10 failure injection)."""
+        self._down = True
+
+    def restore(self) -> None:
+        """Bring the SAS back."""
+        self._down = False
+
+    def is_available(self) -> bool:
+        return not self._down
+
+    # -- operations --------------------------------------------------------------
+
+    def request_grant(self, record: ApRecord, callback: GrantCallback) -> None:
+        if self._down:
+            self.sim.schedule(self.rtt_s, callback, None)  # timeout-ish
+            return
+        self.sim.schedule(self.rtt_s + self.processing_s,
+                          self._decide_grant, record, callback)
+
+    def _decide_grant(self, record: ApRecord, callback: GrantCallback) -> None:
+        if self._down:
+            callback(None)
+            return
+        if self.max_density_per_domain is not None:
+            contenders = sum(
+                1 for g in self._grants.values()
+                if in_contention(g.record, record))
+            if contenders >= self.max_density_per_domain:
+                self.refused += 1
+                callback(None)
+                return
+        expires = (self.sim.now + self.lease_s
+                   if self.lease_s is not None else None)
+        grant = SpectrumGrant(grant_id=f"sas-{next(self._grant_ids)}",
+                              record=record, granted_at=self.sim.now,
+                              expires_at=expires)
+        self._grants[record.ap_id] = grant
+        self.grants_issued += 1
+        callback(grant)
+
+    # -- CBRS heartbeat: leases must be renewed or transmission stops ---------------
+
+    def heartbeat(self, ap_id: str,
+                  callback: "Callable[[Optional[SpectrumGrant]], None]"
+                  ) -> None:
+        """Renew a grant's lease; ``callback(renewed_grant_or_None)``.
+
+        CBRS semantics: a CBSD that cannot heartbeat must cease
+        transmission when its lease lapses — so a SAS outage eventually
+        silences *running* APs, not just joining ones (measured in E10).
+        """
+        if self._down:
+            self.sim.schedule(self.rtt_s, callback, None)
+            return
+        self.sim.schedule(self.rtt_s + self.processing_s,
+                          self._renew, ap_id, callback)
+
+    def _renew(self, ap_id: str,
+               callback: "Callable[[Optional[SpectrumGrant]], None]") -> None:
+        if self._down:
+            callback(None)
+            return
+        old = self._grants.get(ap_id)
+        if old is None:
+            callback(None)
+            return
+        self.heartbeats_served += 1
+        expires = (self.sim.now + self.lease_s
+                   if self.lease_s is not None else None)
+        renewed = SpectrumGrant(grant_id=old.grant_id, record=old.record,
+                                granted_at=old.granted_at,
+                                expires_at=expires)
+        self._grants[ap_id] = renewed
+        callback(renewed)
+
+    def discover_neighbors(self, ap_id: str,
+                           callback: DiscoverCallback) -> None:
+        if self._down:
+            self.sim.schedule(self.rtt_s, callback, [])
+            return
+        self.sim.schedule(self.rtt_s + self.processing_s,
+                          self._answer_neighbors, ap_id, callback)
+
+    def _answer_neighbors(self, ap_id: str, callback: DiscoverCallback) -> None:
+        if self._down:
+            callback([])
+            return
+        self.queries_served += 1
+        me = self._grants.get(ap_id)
+        if me is None:
+            callback([])
+            return
+        neighbors = [g.record for other_id, g in self._grants.items()
+                     if other_id != ap_id and in_contention(g.record, me.record)]
+        callback(neighbors)
+
+    def deregister(self, ap_id: str) -> None:
+        self._grants.pop(ap_id, None)
+
+    @property
+    def active_grants(self) -> int:
+        """Grants currently on the books."""
+        return len(self._grants)

@@ -1,0 +1,20 @@
+"""Workloads: traffic generators and deployment topologies."""
+
+from repro.workloads.topology import FarmCorridor, RuralTown
+from repro.workloads.traffic import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    VideoStreamSource,
+    WebSessionSource,
+)
+
+__all__ = [
+    "RuralTown",
+    "FarmCorridor",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "WebSessionSource",
+    "VideoStreamSource",
+]

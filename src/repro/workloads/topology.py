@@ -1,0 +1,101 @@
+"""Deployment topologies: where APs and users stand.
+
+Two scenario generators anchor the experiments:
+
+* :class:`RuralTown` — the paper's §5 deployment shape: one (or a few)
+  AP sites covering a town of a given radius, UEs clustered around the
+  town center. "One site covers the entire town, and is deployed on the
+  gym where power and backhaul were available."
+* :class:`FarmCorridor` — the E6 road: APs strung along a straight road
+  at a spacing, UEs traveling along it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geo.placement import road_placement, uniform_disk_placement
+from repro.geo.points import Point
+
+
+@dataclass
+class RuralTown:
+    """A disk-shaped town with central AP site(s).
+
+    Attributes:
+        radius_m: town radius (the Papua site covers ~1-2 km).
+        n_ues: resident user devices.
+        n_aps: AP sites; the first is at the center (the gym), later ones
+            spread evenly at 60% radius.
+        seed: placement RNG seed.
+        backhaul_delay_s: AP Internet access delay (rural ISP).
+        backhaul_rate_bps: AP uplink capacity.
+    """
+
+    radius_m: float = 1500.0
+    n_ues: int = 40
+    n_aps: int = 1
+    seed: int = 0
+    backhaul_delay_s: float = 0.025
+    backhaul_rate_bps: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("radius must be positive")
+        if self.n_ues < 0 or self.n_aps < 1:
+            raise ValueError("need n_ues >= 0 and n_aps >= 1")
+
+    def ap_positions(self) -> List[Point]:
+        """Site positions: center first, then a ring."""
+        if self.n_aps == 1:
+            return [Point(0.0, 0.0)]
+        ring_r = 0.6 * self.radius_m
+        angle = 2 * np.pi / (self.n_aps - 1)
+        return [Point(0.0, 0.0)] + [
+            Point(ring_r * float(np.cos(i * angle)),
+                  ring_r * float(np.sin(i * angle)))
+            for i in range(self.n_aps - 1)]
+
+    def ue_positions(self) -> List[Point]:
+        """Residents, uniform over the town disk."""
+        rng = np.random.default_rng(self.seed)
+        return uniform_disk_placement(rng, self.n_ues, self.radius_m)
+
+
+@dataclass
+class FarmCorridor:
+    """APs along a straight road; UEs drive the road (E6's geometry).
+
+    Attributes:
+        n_aps: AP count along the road.
+        ap_spacing_m: distance between adjacent AP sites.
+        n_ues: travelers.
+        seed: RNG seed for traveler start offsets.
+    """
+
+    n_aps: int = 4
+    ap_spacing_m: float = 2000.0
+    n_ues: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_aps < 1 or self.ap_spacing_m <= 0:
+            raise ValueError("need n_aps >= 1 and positive spacing")
+
+    @property
+    def length_m(self) -> float:
+        """Road length from the first AP to the last."""
+        return (self.n_aps - 1) * self.ap_spacing_m
+
+    def ap_positions(self) -> List[Point]:
+        """AP sites on the road."""
+        return road_placement(self.n_aps, self.ap_spacing_m)
+
+    def ue_starts(self) -> List[Point]:
+        """Traveler starting points, spread along the first half."""
+        rng = np.random.default_rng(self.seed)
+        xs = rng.uniform(0.0, max(self.length_m / 2, 1.0), size=self.n_ues)
+        return [Point(float(x), 20.0) for x in xs]  # 20 m off the AP line

@@ -1,0 +1,151 @@
+"""Traffic sources: processes that emit (time, bytes) demands.
+
+Each source runs as a simcore process and calls an ``emit(bytes)``
+callback — typically wired to a transport connection's
+``send_app_data`` or a cell backlog. Rates and shapes follow the
+workloads the paper's rural deployment actually carries (§5: "data only,
+with voice and messaging provided via OTT services"): messaging bursts,
+web sessions, and adaptive video.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simcore.simulator import Simulator
+
+Emit = Callable[[int], None]
+
+
+class _Source:
+    """Shared lifecycle: start/stop a generator process."""
+
+    def __init__(self, sim: Simulator, emit: Emit, name: str) -> None:
+        self.sim = sim
+        self.emit = emit
+        self.name = name
+        self.bytes_emitted = 0
+        self.bursts_emitted = 0
+        self._process = None
+
+    def start(self) -> None:
+        """Begin emitting."""
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError(f"{self.name} already running")
+        self._process = self.sim.process(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        """Stop emitting (idempotent)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.kill("source stopped")
+
+    def _emit(self, n_bytes: int) -> None:
+        self.bytes_emitted += n_bytes
+        self.bursts_emitted += 1
+        self.emit(n_bytes)
+
+    def _run(self):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class CbrSource(_Source):
+    """Constant bit rate: ``packet_bytes`` every ``interval_s``."""
+
+    def __init__(self, sim: Simulator, emit: Emit, rate_bps: float,
+                 packet_bytes: int = 1200, name: str = "cbr") -> None:
+        super().__init__(sim, emit, name)
+        if rate_bps <= 0 or packet_bytes <= 0:
+            raise ValueError("rate and packet size must be positive")
+        self.packet_bytes = packet_bytes
+        self.interval_s = packet_bytes * 8.0 / rate_bps
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval_s)
+            self._emit(self.packet_bytes)
+
+
+class PoissonSource(_Source):
+    """Poisson packet arrivals at ``rate_pps``."""
+
+    def __init__(self, sim: Simulator, emit: Emit, rate_pps: float,
+                 packet_bytes: int = 1200, name: str = "poisson") -> None:
+        super().__init__(sim, emit, name)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_pps = rate_pps
+        self.packet_bytes = packet_bytes
+
+    def _run(self):
+        rng = self.sim.rng(f"traffic:{self.name}")
+        while True:
+            yield self.sim.timeout(float(rng.exponential(1.0 / self.rate_pps)))
+            self._emit(self.packet_bytes)
+
+
+class OnOffSource(_Source):
+    """Exponential on/off bursts — the classic bursty-user model."""
+
+    def __init__(self, sim: Simulator, emit: Emit, on_rate_bps: float,
+                 mean_on_s: float = 2.0, mean_off_s: float = 8.0,
+                 packet_bytes: int = 1200, name: str = "onoff") -> None:
+        super().__init__(sim, emit, name)
+        if min(on_rate_bps, mean_on_s, mean_off_s) <= 0:
+            raise ValueError("rates and durations must be positive")
+        self.on_rate_bps = on_rate_bps
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.packet_bytes = packet_bytes
+
+    def _run(self):
+        rng = self.sim.rng(f"traffic:{self.name}")
+        interval = self.packet_bytes * 8.0 / self.on_rate_bps
+        while True:
+            on_until = self.sim.now + float(rng.exponential(self.mean_on_s))
+            while self.sim.now < on_until:
+                yield self.sim.timeout(interval)
+                self._emit(self.packet_bytes)
+            yield self.sim.timeout(float(rng.exponential(self.mean_off_s)))
+
+
+class WebSessionSource(_Source):
+    """Page views: a burst of objects, then a think time."""
+
+    def __init__(self, sim: Simulator, emit: Emit,
+                 mean_page_bytes: int = 1_500_000,
+                 mean_think_s: float = 15.0, name: str = "web") -> None:
+        super().__init__(sim, emit, name)
+        if mean_page_bytes <= 0 or mean_think_s <= 0:
+            raise ValueError("page size and think time must be positive")
+        self.mean_page_bytes = mean_page_bytes
+        self.mean_think_s = mean_think_s
+
+    def _run(self):
+        rng = self.sim.rng(f"traffic:{self.name}")
+        while True:
+            # lognormal page sizes (heavy tail), mean ~ mean_page_bytes
+            page = int(rng.lognormal(mean=np.log(self.mean_page_bytes) - 0.5,
+                                     sigma=1.0))
+            self._emit(max(page, 1000))
+            yield self.sim.timeout(float(rng.exponential(self.mean_think_s)))
+
+
+class VideoStreamSource(_Source):
+    """Segmented streaming: one segment every ``segment_s`` at the bitrate."""
+
+    def __init__(self, sim: Simulator, emit: Emit, bitrate_bps: float = 1.5e6,
+                 segment_s: float = 4.0, name: str = "video") -> None:
+        super().__init__(sim, emit, name)
+        if bitrate_bps <= 0 or segment_s <= 0:
+            raise ValueError("bitrate and segment length must be positive")
+        self.bitrate_bps = bitrate_bps
+        self.segment_s = segment_s
+
+    def _run(self):
+        segment_bytes = int(self.bitrate_bps * self.segment_s / 8)
+        while True:
+            self._emit(segment_bytes)
+            yield self.sim.timeout(self.segment_s)

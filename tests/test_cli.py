@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` experiment runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_exits_clean(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("T1", "F1", "E3", "E14"):
+        assert exp_id in out
+
+
+def test_run_one_experiment(capsys):
+    assert main(["T1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "dLTE" in out
+    assert "[T1 done" in out
+
+
+def test_run_multiple(capsys):
+    assert main(["E12", "E13"]) == 0
+    out = capsys.readouterr().out
+    assert "E12" in out and "E13" in out
+
+
+def test_unknown_id_errors(capsys):
+    assert main(["E99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_no_args_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()

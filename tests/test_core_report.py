@@ -1,0 +1,57 @@
+"""Unit tests for NetworkReport (repro.core.report)."""
+
+import pytest
+
+from repro.core.report import NetworkReport
+
+
+def _report(**kw):
+    defaults = dict(architecture="test-arch", n_aps=2, n_ues=3)
+    defaults.update(kw)
+    return NetworkReport(**defaults)
+
+
+def test_empty_report_properties():
+    report = _report()
+    assert report.mean_attach_s is None
+    assert report.mean_rtt_s is None
+    assert report.mean_throughput_bps == 0.0
+
+
+def test_means():
+    report = _report(
+        attach_latencies_s=[0.1, 0.2, 0.3],
+        throughput_bps={"a": 1e6, "b": 3e6},
+        rtt_s={"a": 0.05, "b": 0.15})
+    assert report.mean_attach_s == pytest.approx(0.2)
+    assert report.mean_throughput_bps == pytest.approx(2e6)
+    assert report.mean_rtt_s == pytest.approx(0.10)
+
+
+def test_summary_mentions_everything():
+    report = _report(
+        attach_latencies_s=[0.08],
+        attach_failures=1,
+        throughput_bps={"a": 2e6},
+        rtt_s={"a": 0.07},
+        hop_counts={"a": 4},
+        tunnel_overhead_bytes=36,
+        control_bytes=1234,
+        extras={"x2_peers_total": 2.0})
+    text = report.summary()
+    assert "test-arch" in text
+    assert "80.0 ms" in text           # attach
+    assert "failures 1" in text
+    assert "2.00 Mbps" in text
+    assert "70.0 ms" in text           # RTT
+    assert "4-4 hops" in text
+    assert "36" in text                # tunnel overhead
+    assert "1234" in text              # control bytes
+    assert "x2_peers_total: 2" in text
+
+
+def test_summary_omits_missing_sections():
+    text = _report().summary()
+    assert "attach" not in text
+    assert "RTT" not in text
+    assert "tunnel" not in text

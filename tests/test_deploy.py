@@ -1,0 +1,137 @@
+"""Unit tests for deployment cost models and the provisioning advisor."""
+
+import math
+
+import pytest
+
+from repro.deploy import (
+    BomItem,
+    DeploymentPlan,
+    PAPUA_REFERENCE_BOM,
+    ProvisioningAdvisor,
+    carrier_femtocell_plan,
+    coverage_area_km2,
+    dlte_site_plan,
+    wifi_site_plan,
+)
+from repro.geo import Point
+from repro.phy import get_band
+from repro.spectrum.grants import ApRecord
+
+BAND5 = get_band("lte5")
+
+
+# -- BoM / plans --------------------------------------------------------------
+
+def test_bom_item_totals():
+    item = BomItem("widget", 100.0, 3)
+    assert item.total_usd == 300.0
+    with pytest.raises(ValueError):
+        BomItem("bad", -1.0)
+
+
+def test_papua_reference_under_8000():
+    assert sum(i.total_usd for i in PAPUA_REFERENCE_BOM) < 8000.0
+
+
+def test_dlte_plan_matches_reference_total():
+    assert dlte_site_plan(sectors=2).capex_usd == pytest.approx(
+        sum(i.total_usd for i in PAPUA_REFERENCE_BOM))
+
+
+def test_more_sectors_cost_more():
+    assert dlte_site_plan(sectors=3).capex_usd > dlte_site_plan(2).capex_usd
+    with pytest.raises(ValueError):
+        dlte_site_plan(sectors=0)
+
+
+def test_coverage_area():
+    assert coverage_area_km2(1000.0) == pytest.approx(math.pi)
+    with pytest.raises(ValueError):
+        coverage_area_km2(-1)
+
+
+def test_plan_economics_fields():
+    plan = DeploymentPlan("x", [BomItem("a", 1000.0)], 2000.0,
+                          recurring_usd_per_month=10.0)
+    assert plan.capex_usd == 1000.0
+    assert plan.coverage_km2 == pytest.approx(math.pi * 4)
+    assert plan.km2_per_kusd == pytest.approx(math.pi * 4)
+    assert plan.five_year_cost_usd() == 1000.0 + 600.0
+
+
+def test_femtocell_recurring_dominates():
+    plan = carrier_femtocell_plan(monthly_fee_usd=20.0)
+    assert plan.five_year_cost_usd() > 4 * plan.capex_usd
+
+
+def test_wifi_radius_capped_by_ack_timing():
+    assert wifi_site_plan().coverage_radius_m <= 2700.0
+
+
+# -- advisor ----------------------------------------------------------------------
+
+def _incumbent(x, y=0.0, eirp=58.0):
+    return ApRecord(f"inc@{x},{y}", Point(x, y), BAND5, eirp)
+
+
+def test_greenfield_site_scores_high():
+    advisor = ProvisioningAdvisor(BAND5, incumbents=[], seed=1)
+    a = advisor.assess(Point(0, 0), eirp_dbm=58.0)
+    assert a.overlap_fraction == 0.0
+    assert a.new_peers == 0
+    assert a.score == pytest.approx(a.new_coverage_km2)
+    assert a.new_coverage_km2 > 100  # band-5 footprints are big
+
+
+def test_colocated_site_scores_terribly():
+    incumbent = _incumbent(0.0)
+    advisor = ProvisioningAdvisor(BAND5, [incumbent], seed=1)
+    a = advisor.assess(Point(500, 0), eirp_dbm=58.0)
+    assert a.overlap_fraction > 0.9     # nearly everything double-covered
+    assert a.new_peers == 1
+    assert a.score < 0                  # the ecosystem loses
+
+
+def test_rank_prefers_the_gap():
+    incumbents = [_incumbent(0.0)]
+    advisor = ProvisioningAdvisor(BAND5, incumbents, seed=1)
+    near = Point(2_000, 0)
+    far = Point(200_000, 0)   # beyond even band-5 contention coupling
+    ranked = advisor.rank([near, far], eirp_dbm=58.0)
+    assert ranked[0].position == far
+    assert ranked[0].new_peers == 0
+    assert ranked[-1].position == near
+
+
+def test_recommend_eirp_turns_power_down_in_crowds():
+    """Near an incumbent, the advisor prefers a power level that stays
+    out of the incumbent's contention domain."""
+    incumbents = [_incumbent(0.0, eirp=47.0)]
+    advisor = ProvisioningAdvisor(BAND5, incumbents, seed=2)
+    site = Point(35_000, 0)
+    best = advisor.recommend_eirp(site, [30.0, 47.0, 58.0])
+    # full power would couple with the incumbent; the pick avoids that
+    full = advisor.assess(site, 58.0)
+    assert full.new_peers >= 1
+    assert best.new_peers <= full.new_peers
+    assert best.score >= full.score
+
+
+def test_advisor_validates():
+    advisor = ProvisioningAdvisor(BAND5, [], seed=0)
+    with pytest.raises(ValueError):
+        advisor.rank([], 47.0)
+    with pytest.raises(ValueError):
+        advisor.recommend_eirp(Point(0, 0), [])
+    with pytest.raises(ValueError):
+        ProvisioningAdvisor(BAND5, [], mc_samples=10)
+
+
+def test_assessments_deterministic_per_seed():
+    incumbents = [_incumbent(0.0)]
+    a = ProvisioningAdvisor(BAND5, incumbents, seed=5).assess(
+        Point(10_000, 0), 47.0)
+    b = ProvisioningAdvisor(BAND5, incumbents, seed=5).assess(
+        Point(10_000, 0), 47.0)
+    assert a == b

@@ -1,0 +1,120 @@
+"""Unit tests for idle mode, paging, and service request (EPC extension)."""
+
+import pytest
+
+from repro.enodeb import EnbControlRelay
+from repro.epc import CentralizedEpc, UserEquipment
+from repro.epc.agents import ControlChannel
+from repro.epc.subscriber import make_profile
+from repro.epc.ue import UeState
+from repro.net import AddressPool
+from repro.simcore import Simulator
+
+AIR = 0.005
+BACKHAUL = 0.030
+
+
+def _attached_ue(n_enbs=3, seed=1):
+    sim = Simulator(seed)
+    epc = CentralizedEpc(sim, AddressPool("10.0.0.0/16"))
+    enbs = []
+    for i in range(n_enbs):
+        enb = EnbControlRelay(sim, f"enb{i}")
+        channel = epc.connect_enb(enb, backhaul_delay_s=BACKHAUL)
+        enb.connect_core(channel)
+        enbs.append(enb)
+    profile = make_profile("001010000012345")
+    epc.provision(profile)
+    ue = UserEquipment(sim, profile)
+    air = ControlChannel(sim, ue, enbs[0], AIR, "air")
+    ue.connect_air(air)
+    enbs[0].attach_ue(ue.ue_id, air)
+    ue.start_attach()
+    sim.run(until=5.0)
+    assert ue.state is UeState.ATTACHED
+    return sim, epc, enbs, ue
+
+
+def test_go_idle_releases_ecm():
+    sim, epc, enbs, ue = _attached_ue()
+    assert ue.ecm_connected
+    ue.go_idle()
+    sim.run(until=sim.now + 1.0)
+    assert not ue.ecm_connected
+    assert not epc.mme.contexts[ue.ue_id].ecm_connected
+    assert ue.state is UeState.ATTACHED  # still attached, just idle
+
+
+def test_go_idle_requires_attached():
+    sim = Simulator(0)
+    ue = UserEquipment(sim, make_profile("001010000000001"))
+    with pytest.raises(RuntimeError):
+        ue.go_idle()
+
+
+def test_go_idle_idempotent():
+    sim, epc, enbs, ue = _attached_ue()
+    ue.go_idle()
+    sim.run(until=sim.now + 1.0)
+    ue.go_idle()  # no-op, no crash
+    sim.run(until=sim.now + 1.0)
+    assert not ue.ecm_connected
+
+
+def test_paging_fans_out_to_all_enbs():
+    sim, epc, enbs, ue = _attached_ue(n_enbs=5)
+    ue.go_idle()
+    sim.run(until=sim.now + 1.0)
+    pages = epc.mme.page(ue.ue_id)
+    assert pages == 5
+    assert epc.mme.pages_sent == 5
+
+
+def test_paging_connected_ue_is_noop():
+    sim, epc, enbs, ue = _attached_ue()
+    assert epc.mme.page(ue.ue_id) == 0
+    assert epc.mme.pages_sent == 0
+
+
+def test_paging_unknown_ue_is_noop():
+    sim, epc, enbs, ue = _attached_ue()
+    assert epc.mme.page("ghost") == 0
+
+
+def test_page_wakes_ue_via_service_request():
+    sim, epc, enbs, ue = _attached_ue()
+    ue.go_idle()
+    sim.run(until=sim.now + 1.0)
+    resumed = []
+    ue.on_service_resumed = lambda u: resumed.append(sim.now)
+    t0 = sim.now
+    epc.mme.page(ue.ue_id)
+    sim.run(until=t0 + 5.0)
+    assert ue.ecm_connected
+    assert epc.mme.contexts[ue.ue_id].ecm_connected
+    assert epc.mme.service_requests == 1
+    assert resumed and resumed[0] > t0
+    # page down + SR up + accept down: 3 backhaul crossings + air legs
+    wake = ue.service_resumed_at - t0
+    assert 3 * BACKHAUL < wake < 3 * BACKHAUL + 0.05
+
+
+def test_only_camped_enb_delivers_page():
+    """Pages fan out everywhere but only the serving eNB reaches the UE."""
+    sim, epc, enbs, ue = _attached_ue(n_enbs=4)
+    ue.go_idle()
+    sim.run(until=sim.now + 1.0)
+    epc.mme.page(ue.ue_id)
+    sim.run(until=sim.now + 5.0)
+    assert ue.pages_received == 1  # not 4
+
+
+def test_wake_cycle_repeats():
+    sim, epc, enbs, ue = _attached_ue()
+    for _ in range(3):
+        ue.go_idle()
+        sim.run(until=sim.now + 1.0)
+        epc.mme.page(ue.ue_id)
+        sim.run(until=sim.now + 5.0)
+        assert ue.ecm_connected
+    assert epc.mme.service_requests == 3

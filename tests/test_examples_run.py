@@ -1,0 +1,41 @@
+"""Smoke tests: the fast example scripts run end to end as subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "open_federation.py",
+    "ecosystem_advisor.py",
+    "backhaul_failure.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_federation_example_shows_reconvergence():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "open_federation.py")],
+        capture_output=True, text=True, timeout=180)
+    out = result.stdout
+    assert "ap0: 50/50 PRBs" in out      # alone at first
+    assert "ap3: 12/50 PRBs" in out      # four-way split at the end
+
+
+def test_backhaul_example_shows_relay():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "backhaul_failure.py")],
+        capture_output=True, text=True, timeout=180)
+    assert "fiber gets cut" in result.stdout
+    assert "UNREACHABLE" not in result.stdout

@@ -1,0 +1,95 @@
+"""Smoke tests: every (cheap) experiment produces well-formed tables.
+
+The benchmarks assert the *shapes*; these tests assert the *plumbing*
+stays runnable with small parameters, so refactors that break an
+experiment fail fast in the unit suite instead of the slow bench run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    e3_range,
+    e4_weak_signal,
+    e5_coordination,
+    e7_core_scaling,
+    e8_hidden_terminal,
+    e9_x2_bandwidth,
+    e10_registries,
+    e11_mesh_backhaul,
+    e12_deployment_cost,
+    e13_idle_paging,
+    e14_nr_upgrade,
+    t1_design_space,
+)
+from repro.metrics.tables import ResultTable
+
+
+def test_registry_covers_all_ids():
+    assert set(ALL_EXPERIMENTS) == {
+        "T1", "F1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+        "E11", "E12", "E13", "E14", "E15"}
+    for module in ALL_EXPERIMENTS.values():
+        assert hasattr(module, "run")
+        assert module.__doc__
+
+
+def _check(table, min_rows=1):
+    assert isinstance(table, ResultTable)
+    assert len(table) >= min_rows
+    assert table.render()
+
+
+def test_t1_smoke():
+    quadrants, matrix = t1_design_space.run()
+    _check(quadrants, 2)
+    _check(matrix, 4)
+
+
+def test_e3_smoke():
+    _check(e3_range.run(distances_m=[500, 5000]), 6)
+
+
+def test_e4_smoke():
+    _check(e4_weak_signal.run(sinrs_db=[-5, 5]), 2)
+    _check(e4_weak_signal.harq_retx_ablation(), 2)
+
+
+def test_e5_smoke():
+    _check(e5_coordination.run(n_aps=2, ue_per_ap=2, seed=1), 5)
+
+
+def test_e7_smoke():
+    _check(e7_core_scaling.run(ap_counts=[1, 2], ue_per_ap=2), 4)
+
+
+def test_e8_smoke():
+    _check(e8_hidden_terminal.run(ap_counts=[3]), 1)
+    _check(e8_hidden_terminal.sensing_ablation(
+        sense_ranges_m=[2000.0], n_aps=4), 1)
+
+
+def test_e9_smoke():
+    _check(e9_x2_bandwidth.run(peer_counts=[2], duration_s=5.0), 1)
+
+
+def test_e10_smoke():
+    _check(e10_registries.run(n_aps=5), 3)
+
+
+def test_e11_smoke():
+    _check(e11_mesh_backhaul.run(n_aps=3), 3)
+
+
+def test_e12_smoke():
+    _check(e12_deployment_cost.run(), 3)
+    _check(e12_deployment_cost.bom_table(), 4)
+
+
+def test_e13_smoke():
+    _check(e13_idle_paging.run(enb_counts=[1, 2]), 3)
+
+
+def test_e14_smoke():
+    _check(e14_nr_upgrade.run(distances_m=[500, 8000]), 4)
+    _check(e14_nr_upgrade.latency_ladder(), 5)

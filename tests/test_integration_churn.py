@@ -1,0 +1,68 @@
+"""Integration: federation churn — an AP dies, survivors reclaim spectrum.
+
+The open-federation counterpart of carrier ops: nobody pages an
+engineer; the X2 peer-status extension notices and the fair-sharing
+protocol reconverges.
+"""
+
+import pytest
+
+from repro.core import DLTENetwork
+from repro.workloads import RuralTown
+
+
+@pytest.fixture
+def federation():
+    town = RuralTown(radius_m=2500, n_ues=4, n_aps=3, seed=11)
+    net = DLTENetwork.build(town, seed=11)
+    net.run(duration_s=3.0)
+    for ap in net.aps.values():
+        ap.start_peer_monitor(heartbeat_s=1.0)
+    net.sim.run(until=net.sim.now + 2.0)
+    return net
+
+
+def test_three_way_split_before_churn(federation):
+    net = federation
+    sizes = sorted(len(ap.cell.allowed_prbs) for ap in net.aps.values())
+    assert sizes == [16, 17, 17]
+
+
+def test_survivors_reclaim_dead_aps_spectrum(federation):
+    net = federation
+    victim = net.aps["ap2"]
+    # the owner unplugs the box: monitor stops, X2 goes silent
+    victim.peer_monitor.stop()
+    victim.x2.handlers.clear()
+
+    net.sim.run(until=net.sim.now + 8.0)  # > missed_limit x heartbeat
+
+    survivors = [net.aps["ap0"], net.aps["ap1"]]
+    for ap in survivors:
+        assert "ap2" not in ap.x2.peer_ids
+        assert ap.peer_monitor.peers_lost == 1
+    slices = [ap.cell.allowed_prbs for ap in survivors]
+    assert len(slices[0]) == 25 and len(slices[1]) == 25
+    assert not (slices[0] & slices[1])
+
+
+def test_rejoin_after_churn(federation):
+    """The unplugged AP comes back: rediscovers, re-peers, re-shares."""
+    net = federation
+    victim = net.aps["ap2"]
+    victim.peer_monitor.stop()
+    victim.x2.handlers.clear()
+    net.sim.run(until=net.sim.now + 8.0)
+    assert all("ap2" not in net.aps[a].x2.peer_ids for a in ("ap0", "ap1"))
+
+    # power restored: rebuild the X2 handler chain and re-peer
+    victim.x2.add_handler(victim.coordinator._on_x2)
+    victim.x2.add_handler(victim._on_x2_message)
+    victim.discover_and_peer(net.aps)
+    net.sim.run(until=net.sim.now + 3.0)
+
+    sizes = sorted(len(ap.cell.allowed_prbs) for ap in net.aps.values())
+    assert sizes == [16, 17, 17]
+    union = frozenset().union(*(ap.cell.allowed_prbs
+                                for ap in net.aps.values()))
+    assert len(union) == 50

@@ -1,0 +1,106 @@
+"""Integration: mesh backhaul failover in a live dLTE network (§7).
+
+An AP's Internet uplink dies; with mesh links enabled its clients keep
+reaching the OTT server through a neighbouring AP's uplink — real
+packets over the relayed path, round trip measured.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.core import DLTENetwork
+from repro.core.network import SERVER_ADDR
+from repro.net import Packet
+from repro.workloads import RuralTown
+
+IP = ipaddress.IPv4Address
+
+
+@pytest.fixture
+def meshed_net():
+    town = RuralTown(radius_m=2000, n_ues=6, n_aps=2, seed=9)
+    net = DLTENetwork.build(town, seed=9)
+    net.run(duration_s=3.0)
+    net.enable_mesh()
+    return net
+
+
+def _clients_of(net, ap):
+    return [ue_id for ue_id, host in net.ue_hosts.items()
+            if host.address is not None and ap.pool.contains(host.address)]
+
+
+def _ping(net, ue_id, timeout_s=5.0):
+    host = net.ue_hosts[ue_id]
+    got = []
+    host.on_packet = lambda p: got.append((net.sim.now, p))
+    t0 = net.sim.now
+    host.send(Packet(src=host.address, dst=SERVER_ADDR, size_bytes=100,
+                     payload={"kind": "ping", "t0": t0}, created_at=t0))
+    net.sim.run(until=t0 + timeout_s)
+    pongs = [(t, p) for t, p in got
+             if isinstance(p.payload, dict) and p.payload.get("kind") == "pong"]
+    if not pongs:
+        return None, None
+    t, p = pongs[0]
+    return t - t0, p.payload["request_hops"]
+
+
+def test_mesh_links_built(meshed_net):
+    net = meshed_net
+    aps = list(net.aps.values())
+    assert aps[1].router.name in aps[0].router.links
+    assert aps[0].router.name in aps[1].router.links
+
+
+def test_clients_survive_backhaul_failure(meshed_net):
+    net = meshed_net
+    ap0, ap1 = (net.aps["ap0"], net.aps["ap1"])
+    victims = _clients_of(net, ap1)
+    assume_any = victims or _clients_of(net, ap0)
+    assert assume_any, "no clients attached at all?"
+    if not victims:
+        ap0, ap1 = ap1, ap0
+        victims = _clients_of(net, ap1)
+
+    rtt_before, hops_before = _ping(net, victims[0])
+    assert rtt_before is not None
+
+    net.fail_backhaul(ap1.ap_id)
+    rtt_after, hops_after = _ping(net, victims[0])
+    assert rtt_after is not None, "client cut off despite mesh"
+    # the relayed path is longer: more hops, more latency
+    assert hops_after > hops_before
+    assert rtt_after > rtt_before
+    # and the relay runs through the surviving AP's router
+    host = net.ue_hosts[victims[0]]
+    got = []
+    host.on_packet = lambda p: got.append(p)
+    t0 = net.sim.now
+    host.send(Packet(src=host.address, dst=SERVER_ADDR, size_bytes=100,
+                     payload={"kind": "ping", "t0": t0}, created_at=t0))
+    net.sim.run(until=t0 + 5.0)
+    pong = [p for p in got if isinstance(p.payload, dict)
+            and p.payload.get("kind") == "pong"][0]
+    assert f"{ap0.ap_id}-gw" in pong.hops
+
+
+def test_unaffected_ap_clients_keep_short_path(meshed_net):
+    net = meshed_net
+    ap0, ap1 = net.aps["ap0"], net.aps["ap1"]
+    keepers = _clients_of(net, ap0)
+    if not keepers:
+        pytest.skip("no clients on ap0 in this seed")
+    rtt_before, hops_before = _ping(net, keepers[0])
+    net.fail_backhaul(ap1.ap_id)
+    rtt_after, hops_after = _ping(net, keepers[0])
+    assert hops_after == hops_before  # their path is untouched
+
+
+def test_fail_without_mesh_raises():
+    town = RuralTown(radius_m=2000, n_ues=2, n_aps=2, seed=9)
+    net = DLTENetwork.build(town, seed=9)
+    net.run(duration_s=3.0)
+    with pytest.raises(RuntimeError, match="enable_mesh"):
+        net.fail_backhaul("ap0")

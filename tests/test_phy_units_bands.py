@@ -1,0 +1,91 @@
+"""Unit tests for repro.phy.units and repro.phy.bands."""
+
+import pytest
+
+from repro.phy import (
+    LTE_BANDS,
+    WIFI_BANDS,
+    db_to_linear,
+    dbm_to_watts,
+    get_band,
+    linear_to_db,
+    thermal_noise_dbm,
+    watts_to_dbm,
+)
+
+
+def test_db_roundtrip():
+    for db in (-30, -3, 0, 3, 10, 60):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+
+def test_known_db_values():
+    assert db_to_linear(3) == pytest.approx(2.0, rel=1e-2)
+    assert db_to_linear(10) == pytest.approx(10.0)
+    assert db_to_linear(0) == 1.0
+
+
+def test_dbm_watts_roundtrip():
+    assert dbm_to_watts(30) == pytest.approx(1.0)       # 30 dBm = 1 W
+    assert dbm_to_watts(0) == pytest.approx(1e-3)        # 0 dBm = 1 mW
+    assert watts_to_dbm(dbm_to_watts(23)) == pytest.approx(23)
+
+
+def test_log_of_nonpositive_rejected():
+    with pytest.raises(ValueError):
+        linear_to_db(0)
+    with pytest.raises(ValueError):
+        watts_to_dbm(-1)
+
+
+def test_thermal_noise_canonical_values():
+    # -174 dBm/Hz; 10 MHz -> -104 dBm; 20 MHz -> -101 dBm.
+    assert thermal_noise_dbm(10e6) == pytest.approx(-104.0, abs=0.2)
+    assert thermal_noise_dbm(20e6) == pytest.approx(-101.0, abs=0.2)
+
+
+def test_thermal_noise_includes_noise_figure():
+    base = thermal_noise_dbm(10e6)
+    assert thermal_noise_dbm(10e6, noise_figure_db=7) == pytest.approx(base + 7)
+
+
+def test_thermal_noise_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        thermal_noise_dbm(0)
+
+
+# -- bands --------------------------------------------------------------------
+
+def test_paper_named_bands_present():
+    # §3.2 names bands 5, 30, 31 explicitly.
+    assert LTE_BANDS["lte5"].number == 5
+    assert LTE_BANDS["lte31"].number == 31
+    assert LTE_BANDS["lte30tvws"].number == 30
+
+
+def test_band5_is_850mhz_fdd_licensed():
+    band = get_band("lte5")
+    assert 800 < band.dl_mhz < 900
+    assert band.duplex == "FDD"
+    assert band.licensed
+    assert band.is_sub_ghz
+
+
+def test_wifi_bands_are_ism_unlicensed():
+    for band in WIFI_BANDS.values():
+        assert not band.licensed
+        assert band.duplex == "ISM"
+        assert not band.is_sub_ghz
+
+
+def test_licensed_subghz_allows_more_eirp_than_ism():
+    # The quantitative heart of §3.2 "Spectrum Bands".
+    assert (LTE_BANDS["lte5"].max_eirp_dbm
+            > WIFI_BANDS["wifi2g4"].max_eirp_dbm)
+    assert (LTE_BANDS["lte31"].max_eirp_dbm
+            > WIFI_BANDS["wifi5g"].max_eirp_dbm)
+
+
+def test_unknown_band_raises_with_choices():
+    with pytest.raises(KeyError, match="lte5"):
+        get_band("nope")

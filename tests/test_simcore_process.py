@@ -1,0 +1,162 @@
+"""Unit tests for generator-based processes (repro.simcore.process)."""
+
+import pytest
+
+from repro.simcore import ProcessKilled, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def test_process_runs_and_returns(sim):
+    def worker():
+        yield sim.timeout(1)
+        yield sim.timeout(2)
+        return "finished"
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.triggered and proc.ok
+    assert proc.value == "finished"
+    assert sim.now == 3
+
+
+def test_process_receives_event_value(sim):
+    def worker():
+        value = yield sim.timeout(1, value="hello")
+        return value
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.value == "hello"
+
+
+def test_process_sees_event_failure_as_exception(sim):
+    ev = sim.event()
+
+    def worker():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = sim.process(worker())
+    sim.schedule(1, ev.fail, ValueError("oops"))
+    sim.run()
+    assert proc.value == "caught oops"
+
+
+def test_uncaught_exception_fails_process(sim):
+    def worker():
+        yield sim.timeout(1)
+        raise RuntimeError("exploded")
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_processes_compose(sim):
+    def child():
+        yield sim.timeout(2)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return f"got {result}"
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.value == "got child-result"
+    assert sim.now == 2
+
+
+def test_kill_interrupts_wait(sim):
+    def worker():
+        yield sim.timeout(100)
+        return "never"
+
+    proc = sim.process(worker(), name="victim")
+    sim.schedule(1, proc.kill, "shutdown")
+    sim.run(until=5)
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.exception, ProcessKilled)
+
+
+def test_kill_can_be_caught_for_cleanup(sim):
+    cleaned = []
+
+    def worker():
+        try:
+            yield sim.timeout(100)
+        except ProcessKilled:
+            cleaned.append(sim.now)
+            return "cleaned-up"
+
+    proc = sim.process(worker())
+    sim.schedule(3, proc.kill)
+    sim.run(until=10)
+    assert cleaned == [3]
+    assert proc.ok and proc.value == "cleaned-up"
+
+
+def test_kill_after_completion_is_noop(sim):
+    def worker():
+        yield sim.timeout(1)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run()
+    proc.kill()
+    sim.run()
+    assert proc.ok and proc.value == "done"
+
+
+def test_yielding_non_event_fails_process(sim):
+    def worker():
+        yield 42
+
+    proc = sim.process(worker())
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc.exception, TypeError)
+
+
+def test_is_alive_lifecycle(sim):
+    def worker():
+        yield sim.timeout(5)
+
+    proc = sim.process(worker())
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_process_waiting_on_any_of(sim):
+    def worker():
+        winner = yield sim.any_of([sim.timeout(5, "slow"), sim.timeout(1, "quick")])
+        return winner.value
+
+    proc = sim.process(worker())
+    sim.run(until=2)
+    assert proc.value == "quick"
+
+
+def test_many_processes_interleave_deterministically(sim):
+    log = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.5))
+    sim.run()
+    # At t=3.0 both fire; b's timeout was scheduled first (at t=1.5, before
+    # a's at t=2.0) so FIFO ordering puts b ahead.
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
+                   (3.0, "a"), (4.5, "b")]
