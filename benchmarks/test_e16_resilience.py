@@ -1,0 +1,39 @@
+"""Bench E16 — resilience: failure domains vs failure rates (§4.3/§7)."""
+
+import math
+
+from conftest import emit, once
+
+from repro.experiments import e16_resilience
+
+
+def test_e16_resilience(benchmark):
+    timeline, summary = once(benchmark, e16_resilience.run)
+    emit([timeline, summary])
+    rows = {row["arm"]: row for row in summary.rows}
+    dlte = rows["dLTE (federated)"]
+    cent = rows["Centralized LTE"]
+
+    # the centralized EPC is a single point of failure: the outage takes
+    # the WHOLE town offline...
+    assert cent["min_reach_frac"] == 0.0
+    # ...while the federation keeps every surviving site's clients up
+    assert 0.0 < dlte["surviving_frac"] < 1.0
+    assert dlte["min_reach_frac"] >= dlte["surviving_frac"]
+
+    # both arms recover within a bounded number of probe/heartbeat
+    # periods of the restore (no unbounded blackout)
+    for row in (dlte, cent):
+        assert math.isfinite(row["time_to_recover_s"])
+        assert row["time_to_recover_s"] <= 5.0
+    # the crashed AP's clients re-attach: nobody is left stuck
+    assert dlte["stuck_ues"] == 0
+    assert cent["stuck_ues"] == 0
+    # town-wide blackout costs far more in-flight traffic than one site
+    assert cent["probes_lost"] > dlte["probes_lost"]
+
+    # deterministic from (seed, schedule): a re-run reproduces the
+    # reachability timeline and summary exactly
+    timeline2, summary2 = e16_resilience.run()
+    assert timeline2.rows == timeline.rows
+    assert summary2.rows == summary.rows

@@ -109,6 +109,14 @@ class DLTEAccessPoint:
         self.grant: Optional[SpectrumGrant] = None
         self.neighbors: List[ApRecord] = []
         self.peer_monitor = None  # created by start_peer_monitor()
+        self.lease_renewals = 0
+        self.lease_renewal_failures = 0
+        self._renewing_lease = False
+
+        # crash/restart lifecycle
+        self.alive = True
+        self.crashes = 0
+        self._saved_x2_handlers: List[Callable] = []
 
         # attached clients
         self._ue_hosts: Dict[str, Host] = {}
@@ -125,19 +133,141 @@ class DLTEAccessPoint:
                         eirp_dbm=self.cell.radio.eirp_dbm,
                         contact=self.router.name)
 
+    @property
+    def grant_active(self) -> bool:
+        """True while the held grant is in force (``active_at`` now)."""
+        return self.grant is not None and self.grant.active_at(self.sim.now)
+
     def register_spectrum(self,
                           callback: Optional[Callable[[bool], None]] = None
                           ) -> None:
-        """Request a license; ``callback(granted)`` when decided."""
+        """Request a license; ``callback(granted)`` when decided.
+
+        Leased grants (``expires_at`` set) start the renewal loop
+        automatically: the lease is heartbeat-renewed ahead of expiry
+        and lapses if the registry stays unreachable.
+        """
         if self.spectrum_registry is None:
             raise RuntimeError(f"{self.ap_id}: no spectrum registry configured")
 
         def on_grant(grant: Optional[SpectrumGrant]) -> None:
             self.grant = grant
+            if grant is not None and grant.expires_at is not None:
+                self.start_lease_renewal()
             if callback is not None:
                 callback(grant is not None)
 
         self.spectrum_registry.request_grant(self.record, on_grant)
+
+    # -- lease renewal ---------------------------------------------------------------
+
+    def start_lease_renewal(self, margin_frac: float = 0.5,
+                            retry_backoff_s: float = 5.0) -> None:
+        """Keep a leased grant alive: heartbeat the registry ahead of
+        ``expires_at``; retry on failure; re-register once a lapsed
+        lease can be re-acquired (idempotent)."""
+        if self._renewing_lease:
+            return
+        if not 0.0 < margin_frac < 1.0:
+            raise ValueError("margin fraction must be in (0, 1)")
+        if retry_backoff_s <= 0:
+            raise ValueError("retry backoff must be positive")
+        self._renewing_lease = True
+        self.sim.process(self._lease_loop(margin_frac, retry_backoff_s),
+                         name=f"lease:{self.ap_id}")
+
+    def stop_lease_renewal(self) -> None:
+        """Stop renewing (the grant then lapses at its ``expires_at``)."""
+        self._renewing_lease = False
+
+    def _lease_loop(self, margin_frac: float, retry_backoff_s: float):
+        heartbeat = getattr(self.spectrum_registry, "heartbeat", None)
+        while self._renewing_lease and self.alive:
+            grant = self.grant
+            if grant is None or grant.expires_at is None or heartbeat is None:
+                break  # nothing to renew (perpetual or lease-free design)
+            wait = max((grant.expires_at - self.sim.now) * margin_frac, 1e-3)
+            yield self.sim.timeout(wait)
+            if not (self._renewing_lease and self.alive):
+                break
+            done = self.sim.event(f"lease-renew:{self.ap_id}")
+            heartbeat(self.ap_id, done.succeed)
+            renewed = yield done
+            if renewed is not None:
+                self.grant = renewed
+                self.lease_renewals += 1
+                continue
+            self.lease_renewal_failures += 1
+            self.sim.trace("spectrum", f"{self.ap_id}: lease renewal failed",
+                           active=self.grant_active)
+            if not self.grant_active and self.spectrum_registry.is_available():
+                # the lease lapsed (registry outage outlived it): the
+                # registry wants a fresh registration, not a heartbeat —
+                # and on success the renewal schedule resumes at once
+                # (sleeping the retry backoff could outlive the new lease)
+                redone = self.sim.event(f"lease-rereg:{self.ap_id}")
+                self.register_spectrum(redone.succeed)
+                ok = yield redone
+                if ok:
+                    continue
+            yield self.sim.timeout(retry_backoff_s)
+        self._renewing_lease = False
+
+    # -- crash/restart lifecycle --------------------------------------------------
+
+    def crash(self) -> None:
+        """The box loses power: coordination goes silent (peers must
+        *detect* the death), every client's RRC/session/address is gone,
+        and the stub forgets its RAM state."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.sim.trace("fault", f"{self.ap_id}: crashed")
+        if self.peer_monitor is not None:
+            self.peer_monitor.stop()
+        self._saved_x2_handlers = list(self.x2.handlers)
+        self.x2.handlers.clear()
+        self.stop_lease_renewal()
+        for ue in list(self._ue_objects.values()):
+            self.disconnect_ue(ue)
+            ue.radio_lost()
+        self.stub.crash()
+
+    def restart(self, directory: Optional[Dict[str, "DLTEAccessPoint"]] = None,
+                on_ready: Optional[Callable[[bool], None]] = None) -> None:
+        """Power restored: replay the §4.3 lifecycle — re-register
+        spectrum, re-discover and re-peer (when ``directory`` is given),
+        resume the peer monitor. Clients reconnect separately (see
+        :meth:`DLTENetwork.restart_ap`); ``on_ready(ok)`` fires once the
+        control plane is back."""
+        if self.alive:
+            return
+        self.alive = True
+        self.sim.trace("fault", f"{self.ap_id}: restarting")
+        self.stub.restart()
+        for handler in self._saved_x2_handlers:
+            if handler not in self.x2.handlers:
+                self.x2.handlers.append(handler)
+        self._saved_x2_handlers = []
+
+        def peered(_n_peers: int) -> None:
+            if self.peer_monitor is not None:
+                self.peer_monitor.start()
+            if on_ready is not None:
+                on_ready(True)
+
+        def after_grant(ok: bool) -> None:
+            if not ok:
+                if on_ready is not None:
+                    on_ready(False)
+                return
+            if directory is not None:
+                self.discover_and_peer(directory, done=peered)
+            else:
+                peered(0)
+
+        self.register_spectrum(after_grant)
 
     def discover_and_peer(self, directory: Dict[str, "DLTEAccessPoint"],
                           done: Optional[Callable[[int], None]] = None) -> None:

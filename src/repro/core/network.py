@@ -143,6 +143,7 @@ class DLTENetwork(_BaseNetwork):
         self.spectrum_registry = None
         self.coordination_mode = "fair-sharing"
         self.cluster: Optional[CooperativeCluster] = None
+        self._serving_ap: Dict[str, str] = {}
 
     @classmethod
     def build(cls, town: RuralTown, band_name: str = "lte5", seed: int = 0,
@@ -188,6 +189,7 @@ class DLTENetwork(_BaseNetwork):
             net.ue_hosts[ue.ue_id] = host
             net.ue_radios[ue.ue_id] = radio
             ap = net._nearest_ap(position)
+            net._serving_ap[ue.ue_id] = ap.ap_id
             ap.connect_ue(ue, host, radio)
         return net
 
@@ -245,6 +247,35 @@ class DLTENetwork(_BaseNetwork):
         ap.router.default_route = gateway.router.name
         gateway.router.add_route(str(ap.pool.network), ap.router.name)
         self.internet.add_route(str(ap.pool.network), gateway.router.name)
+
+    # -- fault injection (E16 resilience) ---------------------------------------------
+
+    def crash_ap(self, ap_id: str) -> None:
+        """Power-fail one site: its stub, sessions, and clients go dark.
+
+        Only this AP's UEs lose service — the federation's survivors keep
+        running and, via their peer monitors, reclaim the spectrum.
+        """
+        self.aps[ap_id].crash()
+
+    def restart_ap(self, ap_id: str,
+                   retry_kwargs: Optional[dict] = None) -> None:
+        """Power-restore a crashed site and bring its clients back.
+
+        The AP replays its §4.3 lifecycle (license, peering, monitor);
+        each UE it was serving reconnects at the radio and re-attaches
+        under retry supervision (so clients that race the control-plane
+        recovery back off and try again).
+        """
+        ap = self.aps[ap_id]
+        ap.restart(directory=self.aps)
+        kwargs = retry_kwargs or {}
+        for ue_id, serving in self._serving_ap.items():
+            if serving != ap_id:
+                continue
+            ue = self.ues[ue_id]
+            ap.connect_ue(ue, self.ue_hosts[ue_id], self.ue_radios[ue_id])
+            ue.start_attach_with_retry(**kwargs)
 
     # -- phases -----------------------------------------------------------------------
 
@@ -324,6 +355,7 @@ class CentralizedLTENetwork(_BaseNetwork):
         super().__init__(sim, town)
         self.epc: Optional[CentralizedEpc] = None
         self.epc_data: Optional[EpcDataPlane] = None
+        self.epc_router: Optional[Router] = None
         self.enb_relays: Dict[str, EnbControlRelay] = {}
         self.enb_data: Dict[str, EnbDataPlane] = {}
         self.cells: Dict[str, Cell] = {}
@@ -343,6 +375,7 @@ class CentralizedLTENetwork(_BaseNetwork):
 
         # EPC site: control plane + user plane behind one edge router
         epc_router = Router(sim, "epc-gw")
+        net.epc_router = epc_router
         net.internet.attach(epc_router, cls.UE_PREFIX,
                             access_delay_s=epc_access_delay_s)
         net.internet.add_route(cls.EPC_TRANSPORT, "epc-gw")
@@ -431,6 +464,31 @@ class CentralizedLTENetwork(_BaseNetwork):
         self.enb_data[site].register_ue(ue.ue_address, host)
         self.epc_data.register_ue(ue.ue_address,
                                   self.enb_data[site].address)
+
+    # -- fault injection (E16 resilience) -----------------------------------------------
+
+    def fail_epc(self) -> None:
+        """Take the EPC site off the network (power/fiber cut).
+
+        Every S1 channel and the EPC gateway's Internet uplink go down —
+        the single-point-of-failure scenario dLTE's federation avoids:
+        *all* sites lose both control and user plane at once, because
+        every tunnel hairpins through this one building.
+        """
+        for channel in self.epc._s1_channels.values():
+            channel.set_up(False)
+        self.internet.links[self.epc_router.name].set_up(False)
+        self.epc_router.links[self.internet.name].set_up(False)
+        self.sim.trace("fault", "EPC site unreachable")
+
+    def restore_epc(self) -> None:
+        """Reconnect the EPC site (MME contexts survived — it is the
+        *path* that failed, so re-attach is not required)."""
+        for channel in self.epc._s1_channels.values():
+            channel.set_up(True)
+        self.internet.links[self.epc_router.name].set_up(True)
+        self.epc_router.links[self.internet.name].set_up(True)
+        self.sim.trace("fault", "EPC site restored")
 
     # -- phases ------------------------------------------------------------------------
 

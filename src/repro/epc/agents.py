@@ -90,7 +90,13 @@ class ControlAgent:
 
 
 class ControlChannel:
-    """A fixed-latency pipe between two agents, with byte accounting."""
+    """A fixed-latency pipe between two agents, with byte accounting.
+
+    A channel can be taken down (fault injection): while ``up`` is False
+    every message offered in either direction is silently dropped and
+    counted, which is how a severed S1/X2 path behaves from the control
+    plane's point of view — requests just never come back.
+    """
 
     def __init__(self, sim: Simulator, a: ControlAgent, b: ControlAgent,
                  one_way_delay_s: float, name: str = "") -> None:
@@ -100,8 +106,17 @@ class ControlChannel:
         self.ends: Tuple[ControlAgent, ControlAgent] = (a, b)
         self.one_way_delay_s = one_way_delay_s
         self.name = name or f"{a.name}<->{b.name}"
+        self.up = True
         self.messages = 0
         self.bytes = 0
+        self.dropped = 0
+
+    def set_up(self, up: bool) -> None:
+        """Raise or cut the channel (both directions)."""
+        if up != self.up:
+            self.sim.trace("fault",
+                           f"channel {self.name} {'up' if up else 'down'}")
+        self.up = up
 
     def other_end(self, agent: ControlAgent) -> ControlAgent:
         """The peer of ``agent`` on this channel."""
@@ -115,6 +130,11 @@ class ControlChannel:
     def send(self, sender: ControlAgent, payload: object) -> None:
         """Deliver ``payload`` to the other end after the channel delay."""
         receiver = self.other_end(sender)
+        if not self.up:
+            self.dropped += 1
+            self.sim.trace("drop", f"channel {self.name}: down",
+                           payload=type(payload).__name__)
+            return
         self.messages += 1
         self.bytes += getattr(payload, "size_bytes", 0)
         message = ControlMessage(payload=payload, sender=sender,

@@ -48,6 +48,7 @@ class LocalCoreStub(ControlAgent):
         self.pool = pool
         self.registry = registry
         self.s1: Optional[ControlChannel] = None
+        self.alive = True
         self._key_cache: Dict[str, bytes] = {}
         self._sqn: Dict[str, int] = {}
         self._pending_vector: Dict[str, AuthVector] = {}
@@ -57,6 +58,8 @@ class LocalCoreStub(ControlAgent):
         self.attaches_rejected = 0
         self.registry_fetches = 0
         self.cache_hits = 0
+        self.crashes = 0
+        self.dropped_while_down = 0
         self.on_session_created: Optional[
             Callable[[str, IPv4Address], None]] = None
         self.on_session_deleted: Optional[Callable[[str], None]] = None
@@ -69,9 +72,47 @@ class LocalCoreStub(ControlAgent):
         """Seed the key cache (e.g. the AP owner's own devices)."""
         self._key_cache[imsi] = key
 
+    # -- crash/restart lifecycle -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose power: every session, pending procedure, and queued
+        message vanishes; addresses return to the pool; inbound messages
+        are dropped until :meth:`restart`."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        for ue_id in list(self.sessions):
+            address = self.sessions.pop(ue_id)
+            self.pool.release(address)
+            if self.on_session_deleted is not None:
+                self.on_session_deleted(ue_id)
+        self._pending_vector.clear()
+        self._queue.clear()
+        self.sim.trace("fault", f"{self.name}: crashed")
+
+    def restart(self) -> None:
+        """Power restored: come back empty — RAM state (key cache, SQN
+        counters, sessions) did not survive; clients must re-attach."""
+        if self.alive:
+            return
+        self.alive = True
+        self._key_cache.clear()
+        self._sqn.clear()
+        self.sim.trace("fault", f"{self.name}: restarted")
+
+    def enqueue(self, message: ControlMessage) -> None:
+        if not self.alive:
+            self.dropped_while_down += 1
+            return
+        super().enqueue(message)
+
     # -- dispatch --------------------------------------------------------------------
 
     def handle(self, message: ControlMessage) -> None:
+        if not self.alive:
+            self.dropped_while_down += 1
+            return
         payload = message.payload
         if isinstance(payload, AttachRequest):
             self._on_attach_request(payload)

@@ -67,6 +67,10 @@ class UserEquipment(ControlAgent):
         # timing
         self.attach_started_at: Optional[float] = None
         self.attach_completed_at: Optional[float] = None
+        # retry machinery (supervised attach; see start_attach_with_retry)
+        self.attach_attempts = 0
+        self.attach_retries_exhausted = 0
+        self._attach_outcome = None  # Event the retry loop waits on
         self.on_attached: Optional[Callable[["UserEquipment"], None]] = None
         self.on_rejected: Optional[Callable[["UserEquipment", str], None]] = None
         self.on_service_resumed: Optional[
@@ -106,6 +110,75 @@ class UserEquipment(ControlAgent):
         self.air.send(self, AttachRequest(ue_id=self.ue_id,
                                           imsi=self.profile.imsi))
 
+    def start_attach_with_retry(self, max_attempts: int = 8,
+                                timeout_s: float = 2.0,
+                                base_backoff_s: float = 0.5,
+                                max_backoff_s: float = 16.0,
+                                jitter_frac: float = 0.25) -> "Process":  # noqa: F821
+        """Attach under supervision: retry on rejection or silence.
+
+        Each attempt is given ``timeout_s`` to complete (the T3410
+        analogue); a failed or unanswered attempt backs off
+        exponentially — ``base_backoff_s * 2^k`` capped at
+        ``max_backoff_s`` — plus deterministic per-UE jitter drawn from
+        the simulator's named RNG, so a whole town retrying after an AP
+        restart does not thundering-herd the stub. Out-of-coverage UEs
+        (no air channel yet) keep waiting through the same backoff until
+        coverage returns. Returns the supervising process.
+        """
+        if max_attempts < 1:
+            raise ValueError("need at least one attach attempt")
+        return self.sim.process(
+            self._attach_retry_loop(max_attempts, timeout_s, base_backoff_s,
+                                    max_backoff_s, jitter_frac),
+            name=f"attach-retry:{self.name}")
+
+    def _attach_retry_loop(self, max_attempts: int, timeout_s: float,
+                           base_backoff_s: float, max_backoff_s: float,
+                           jitter_frac: float):
+        rng = self.sim.rng(f"nas-backoff:{self.name}")
+        backoff = base_backoff_s
+        for attempt in range(max_attempts):
+            if self.air is not None:
+                self.attach_attempts += 1
+                outcome = self.sim.event(f"attach-outcome:{self.name}")
+                self._attach_outcome = outcome
+                self.start_attach()
+                yield self.sim.any_of([outcome,
+                                       self.sim.timeout(timeout_s)])
+                self._attach_outcome = None
+                if self.state is UeState.ATTACHED:
+                    return
+            if attempt == max_attempts - 1:
+                break
+            jitter = float(rng.uniform(0.0, jitter_frac * backoff))
+            self.sim.trace("nas", f"{self.name}: attach retry backoff",
+                           attempt=attempt + 1, backoff_s=backoff + jitter)
+            yield self.sim.timeout(backoff + jitter)
+            backoff = min(backoff * 2.0, max_backoff_s)
+        self.attach_retries_exhausted += 1
+        self.sim.trace("nas", f"{self.name}: attach retries exhausted",
+                       attempts=self.attach_attempts)
+
+    def _settle_attach(self) -> None:
+        """Wake the retry supervisor (if any) on a terminal NAS outcome."""
+        outcome = self._attach_outcome
+        if outcome is not None and not outcome.triggered:
+            outcome.succeed(self.state)
+
+    def radio_lost(self) -> None:
+        """The serving cell vanished (AP crash, out of coverage).
+
+        NAS state collapses to IDLE: the bearer, address, and RRC
+        connection are gone with the cell. A retry supervisor keeps
+        waiting for coverage; a fresh attach needs a new air channel.
+        """
+        self.air = None
+        self.state = UeState.IDLE
+        self.ue_address = None
+        self.ecm_connected = True
+        self._settle_attach()
+
     def detach(self) -> None:
         """Leave the network, releasing the bearer."""
         if self.state is UeState.ATTACHED and self.air is not None:
@@ -136,6 +209,7 @@ class UserEquipment(ControlAgent):
             self._on_attach_accept(payload)
         elif isinstance(payload, (AttachReject, AuthenticationReject)):
             self.state = UeState.REJECTED
+            self._settle_attach()
             if self.on_rejected is not None:
                 self.on_rejected(self, getattr(payload, "cause", "rejected"))
         elif isinstance(payload, Paging):
@@ -154,6 +228,7 @@ class UserEquipment(ControlAgent):
                 sqn=request.sqn):
             self.network_auth_failures += 1
             self.state = UeState.REJECTED
+            self._settle_attach()
             if self.on_rejected is not None:
                 cause = ("replayed-challenge" if not fresh
                          else "network-auth-failure")
@@ -181,5 +256,6 @@ class UserEquipment(ControlAgent):
         self.state = UeState.ATTACHED
         self.attach_completed_at = self.sim.now
         self.air.send(self, AttachComplete(ue_id=self.ue_id))
+        self._settle_attach()
         if self.on_attached is not None:
             self.on_attached(self)

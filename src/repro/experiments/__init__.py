@@ -20,6 +20,7 @@ from repro.experiments import (
     e13_idle_paging,
     e14_nr_upgrade,
     e15_reachability,
+    e16_resilience,
     f1_path_comparison,
     t1_design_space,
 )
@@ -40,6 +41,7 @@ ALL_EXPERIMENTS = {
     "E13": e13_idle_paging,
     "E14": e14_nr_upgrade,
     "E15": e15_reachability,
+    "E16": e16_resilience,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

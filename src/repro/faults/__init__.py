@@ -1,0 +1,11 @@
+"""Fault injection: deterministic, schedulable failure scenarios (E16).
+
+The subsystem that makes the paper's robustness claims *measurable*:
+link cuts and flaps, probabilistic loss, AP crash/restart, core and
+registry outages — all named, logged, and reproducible from
+``(seed, schedule)``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+
+__all__ = ["FaultInjector", "FaultRecord"]

@@ -1,0 +1,195 @@
+"""Deterministic fault injection: named fault scenarios on a schedule.
+
+The resilience claims of §4.3/§7 ("nobody goes dark", "redundancy … in
+emergencies") are about what happens *when things break*: a backhaul
+fiber is cut and spliced, an AP's power flaps, the one centralized EPC
+falls over, the spectrum registry is unreachable. The
+:class:`FaultInjector` turns those into first-class, schedulable events
+on the existing :class:`~repro.simcore.simulator.Simulator` clock.
+
+Every injection is *named* and *logged* (``injector.log``) and traced
+(``sim.trace("fault", ...)``), and all randomness a fault needs (packet
+loss draws) flows through the simulator's :class:`RngRegistry` — so a
+whole fault campaign is reproducible from ``(seed, schedule)`` alone.
+
+Fault kinds:
+
+* :meth:`FaultInjector.link_down` — cut a :class:`~repro.net.links.Link`
+  (optionally healing after a duration);
+* :meth:`FaultInjector.link_flap` — periodic down/up cycles;
+* :meth:`FaultInjector.link_loss` — probabilistic per-packet loss;
+* :meth:`FaultInjector.channel_down` — sever a control-plane
+  :class:`~repro.epc.agents.ControlChannel` (S1, X2);
+* :meth:`FaultInjector.crash` — crash anything with a
+  ``crash()``/``restart()`` lifecycle (a :class:`DLTEAccessPoint`, a
+  :class:`LocalCoreStub`), optionally restarting it later;
+* :meth:`FaultInjector.outage` — generic fail/restore pair (a
+  centralized EPC site, any custom subsystem);
+* :meth:`FaultInjector.registry_outage` — spectrum registry
+  unavailability via the registry's own ``fail()``/``restore()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.net.links import Link
+from repro.simcore.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One executed fault action, for audit and assertions."""
+
+    time_s: float
+    name: str
+    action: str
+
+    def __str__(self) -> str:
+        return f"[{self.time_s:10.3f}] {self.name}: {self.action}"
+
+
+class FaultInjector:
+    """Schedules named faults against simulation components.
+
+    All methods take *absolute* simulated times (``at_s``), may be called
+    before or during a run, and return immediately — the actions execute
+    on the simulator clock. The injector never draws randomness itself;
+    probabilistic loss is drawn inside :class:`Link` from a per-link
+    named stream, keeping campaigns deterministic.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.log: List[FaultRecord] = []
+        self.faults_injected = 0
+        self._names = set()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _fire(self, name: str, action: str, fn: Callable, *args) -> None:
+        self.faults_injected += 1
+        self.log.append(FaultRecord(time_s=self.sim.now, name=name,
+                                    action=action))
+        self.sim.trace("fault", f"{name}: {action}")
+        fn(*args)
+
+    def _at(self, at_s: float, name: str, action: str,
+            fn: Callable, *args) -> None:
+        self.sim.at(at_s, self._fire, name, action, fn, *args)
+
+    def _unique(self, name: Optional[str], default: str) -> str:
+        base = name or default
+        candidate, k = base, 1
+        while candidate in self._names:
+            k += 1
+            candidate = f"{base}#{k}"
+        self._names.add(candidate)
+        return candidate
+
+    # -- link faults -------------------------------------------------------
+
+    def link_down(self, link: Link, at_s: float,
+                  duration_s: Optional[float] = None,
+                  name: Optional[str] = None) -> str:
+        """Cut ``link`` at ``at_s``; heal after ``duration_s`` if given."""
+        fault = self._unique(name, f"link-down:{link.name}")
+        self._at(at_s, fault, "down", link.set_up, False)
+        if duration_s is not None:
+            if duration_s <= 0:
+                raise ValueError("duration must be positive")
+            self._at(at_s + duration_s, fault, "up", link.set_up, True)
+        return fault
+
+    def link_flap(self, link: Link, at_s: float, down_s: float, up_s: float,
+                  cycles: int, name: Optional[str] = None) -> str:
+        """Flap ``link``: ``cycles`` x (down ``down_s``, up ``up_s``)."""
+        if down_s <= 0 or up_s <= 0:
+            raise ValueError("flap phases must be positive")
+        if cycles < 1:
+            raise ValueError("need at least one flap cycle")
+        fault = self._unique(name, f"link-flap:{link.name}")
+        t = at_s
+        for _ in range(cycles):
+            self._at(t, fault, "down", link.set_up, False)
+            self._at(t + down_s, fault, "up", link.set_up, True)
+            t += down_s + up_s
+        return fault
+
+    def link_loss(self, link: Link, at_s: float, loss_rate: float,
+                  duration_s: Optional[float] = None,
+                  name: Optional[str] = None) -> str:
+        """Impose per-packet loss on ``link``; clears after the duration."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        fault = self._unique(name, f"link-loss:{link.name}")
+        self._at(at_s, fault, f"loss={loss_rate:g}",
+                 link.set_loss_rate, loss_rate)
+        if duration_s is not None:
+            if duration_s <= 0:
+                raise ValueError("duration must be positive")
+            self._at(at_s + duration_s, fault, "loss cleared",
+                     link.set_loss_rate, 0.0)
+        return fault
+
+    # -- control-plane faults ----------------------------------------------
+
+    def channel_down(self, channel, at_s: float,
+                     duration_s: Optional[float] = None,
+                     name: Optional[str] = None) -> str:
+        """Sever a :class:`ControlChannel` (S1/X2) at ``at_s``."""
+        fault = self._unique(name, f"channel-down:{channel.name}")
+        self._at(at_s, fault, "down", channel.set_up, False)
+        if duration_s is not None:
+            if duration_s <= 0:
+                raise ValueError("duration must be positive")
+            self._at(at_s + duration_s, fault, "up", channel.set_up, True)
+        return fault
+
+    def crash(self, node, at_s: float,
+              restart_after_s: Optional[float] = None,
+              name: Optional[str] = None) -> str:
+        """Crash a node with a ``crash()``/``restart()`` lifecycle.
+
+        Works on anything exposing those two methods — an AP, a core
+        stub, a whole-network adapter. Restart is scheduled relative to
+        the crash time when ``restart_after_s`` is given.
+        """
+        label = getattr(node, "ap_id", None) or getattr(node, "name", None) \
+            or type(node).__name__
+        fault = self._unique(name, f"crash:{label}")
+        self._at(at_s, fault, "crash", node.crash)
+        if restart_after_s is not None:
+            if restart_after_s <= 0:
+                raise ValueError("restart delay must be positive")
+            self._at(at_s + restart_after_s, fault, "restart", node.restart)
+        return fault
+
+    def outage(self, fail: Callable[[], None], restore: Callable[[], None],
+               at_s: float, duration_s: float,
+               name: Optional[str] = None) -> str:
+        """Generic outage: ``fail()`` at ``at_s``, ``restore()`` after."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        fault = self._unique(name, "outage")
+        self._at(at_s, fault, "fail", fail)
+        self._at(at_s + duration_s, fault, "restore", restore)
+        return fault
+
+    def registry_outage(self, registry, at_s: float, duration_s: float,
+                        name: Optional[str] = None) -> str:
+        """Take a spectrum registry offline for ``duration_s``."""
+        return self.outage(registry.fail, registry.restore, at_s, duration_s,
+                           name=name or f"registry-outage:"
+                                        f"{type(registry).__name__}")
+
+    # -- inspection --------------------------------------------------------
+
+    def dump(self) -> str:
+        """Human-readable log of every executed fault action."""
+        return "\n".join(str(record) for record in self.log)
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector scheduled={len(self._names)} "
+                f"fired={self.faults_injected}>")

@@ -1,9 +1,17 @@
-"""Point-to-point links with rate, delay, and drop-tail queues.
+"""Point-to-point links with rate, delay, drop-tail queues, and faults.
 
 A link is the unit of backhaul modelling: the AP's Internet uplink, the
 S1 path to a carrier EPC, the X2 path between peers. Serialization time
 (size/rate) plus propagation delay plus queueing; a finite queue drops
 from the tail, which is where "backhaul constrained" (E9) bites.
+
+Links also carry the fault state the resilience experiments (E16) need:
+an ``up`` flag (a down link drops everything offered to it and loses
+whatever was queued or in flight) and a ``loss_rate`` (per-packet random
+drops drawn from the link's own named RNG stream, so a run stays
+reproducible from the seed). Drops are accounted *by cause* —
+``dropped_overflow`` vs ``dropped_down`` vs ``dropped_loss`` — so
+congestion can be told apart from failure.
 """
 
 from __future__ import annotations
@@ -42,9 +50,15 @@ class Link:
         self.receiver: Optional[Callable[[Packet], None]] = None
         self._queue: list = []
         self._busy = False
-        # counters
+        # fault state
+        self.up = True
+        self.loss_rate = 0.0
+        # counters; ``dropped`` is the running total across all causes
         self.delivered = 0
         self.dropped = 0
+        self.dropped_overflow = 0
+        self.dropped_down = 0
+        self.dropped_loss = 0
         self.bytes_sent = 0
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
@@ -56,14 +70,52 @@ class Link:
         """Packets currently waiting (excludes the one being serialized)."""
         return len(self._queue)
 
+    # -- fault state -------------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Raise or cut the link; cutting loses every queued packet."""
+        if up == self.up:
+            return
+        self.up = up
+        self.sim.trace("fault", f"link {self.name} {'up' if up else 'down'}")
+        if not up and self._queue:
+            lost = len(self._queue)
+            self._queue.clear()
+            self.dropped += lost
+            self.dropped_down += lost
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Set the per-packet drop probability (0 disables loss)."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        if loss_rate != self.loss_rate:
+            self.sim.trace("fault", f"link {self.name} loss={loss_rate:g}")
+        self.loss_rate = loss_rate
+
+    def _drop(self, cause: str) -> bool:
+        self.dropped += 1
+        if cause == "overflow":
+            self.dropped_overflow += 1
+        elif cause == "down":
+            self.dropped_down += 1
+        else:
+            self.dropped_loss += 1
+        self.sim.trace("drop", f"link {self.name}: {cause}")
+        return False
+
     def send(self, packet: Packet) -> bool:
-        """Enqueue a packet; returns False (and counts a drop) if full."""
+        """Enqueue a packet; returns False (and counts a drop by cause)
+        when the link is down, the loss draw fails, or the queue is full."""
         if self.receiver is None:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        if not self.up:
+            return self._drop("down")
+        if self.loss_rate > 0.0 and (self.sim.rng(f"link-loss:{self.name}")
+                                     .random() < self.loss_rate):
+            return self._drop("loss")
         if self._busy:
             if len(self._queue) >= self.queue_packets:
-                self.dropped += 1
-                return False
+                return self._drop("overflow")
             self._queue.append(packet)
             return True
         self._serialize(packet)
@@ -84,6 +136,9 @@ class Link:
             self._busy = False
 
     def _deliver(self, packet: Packet) -> None:
+        if not self.up:
+            self._drop("down")  # cut mid-flight
+            return
         self.delivered += 1
         self.receiver(packet)
 

@@ -57,6 +57,8 @@ class SasRegistry(SpectrumRegistry):
         self._down = False
         self.refused = 0
         self.heartbeats_served = 0
+        self.grants_expired = 0
+        self._sweeping = False
 
     # -- availability ------------------------------------------------------------
 
@@ -70,6 +72,54 @@ class SasRegistry(SpectrumRegistry):
 
     def is_available(self) -> bool:
         return not self._down
+
+    # -- lease expiry ------------------------------------------------------------
+    #
+    # ``SpectrumGrant.active_at`` is the single authority on whether a
+    # grant is in force: density admission, discovery, and renewal all
+    # consult it, and the sweep merely reclaims the book-keeping for
+    # grants it already says are dead.
+
+    def purge_expired(self) -> int:
+        """Drop every grant whose lease has lapsed; returns the count."""
+        now = self.sim.now
+        lapsed = [ap_id for ap_id, g in self._grants.items()
+                  if not g.active_at(now)]
+        for ap_id in lapsed:
+            grant = self._grants.pop(ap_id)
+            self.grants_expired += 1
+            self.sim.trace("spectrum", "grant expired",
+                           ap=ap_id, grant=grant.grant_id)
+        return len(lapsed)
+
+    def start_expiry_sweep(self, interval_s: Optional[float] = None) -> None:
+        """Run :meth:`purge_expired` periodically (idempotent).
+
+        Defaults to half the lease; a no-op for lease-free registries.
+        """
+        if self._sweeping or self.lease_s is None:
+            return
+        self._sweeping = True
+        period = interval_s if interval_s is not None else self.lease_s / 2.0
+        if period <= 0:
+            raise ValueError("sweep interval must be positive")
+
+        def sweep():
+            while self._sweeping:
+                yield self.sim.timeout(period)
+                self.purge_expired()
+
+        self.sim.process(sweep(), name="sas-expiry-sweep")
+
+    def stop_expiry_sweep(self) -> None:
+        """Stop the periodic sweep (the lazy checks keep working)."""
+        self._sweeping = False
+
+    def _active_grant(self, ap_id: str) -> Optional[SpectrumGrant]:
+        grant = self._grants.get(ap_id)
+        if grant is not None and not grant.active_at(self.sim.now):
+            return None
+        return grant
 
     # -- operations --------------------------------------------------------------
 
@@ -87,7 +137,8 @@ class SasRegistry(SpectrumRegistry):
         if self.max_density_per_domain is not None:
             contenders = sum(
                 1 for g in self._grants.values()
-                if in_contention(g.record, record))
+                if g.active_at(self.sim.now)
+                and in_contention(g.record, record))
             if contenders >= self.max_density_per_domain:
                 self.refused += 1
                 callback(None)
@@ -123,8 +174,11 @@ class SasRegistry(SpectrumRegistry):
         if self._down:
             callback(None)
             return
-        old = self._grants.get(ap_id)
+        old = self._active_grant(ap_id)
         if old is None:
+            # unknown or lapsed: a CBSD whose lease ran out during an
+            # outage must re-register, not merely heartbeat
+            self.purge_expired()
             callback(None)
             return
         self.heartbeats_served += 1
@@ -149,12 +203,14 @@ class SasRegistry(SpectrumRegistry):
             callback([])
             return
         self.queries_served += 1
-        me = self._grants.get(ap_id)
+        me = self._active_grant(ap_id)
         if me is None:
             callback([])
             return
+        now = self.sim.now
         neighbors = [g.record for other_id, g in self._grants.items()
-                     if other_id != ap_id and in_contention(g.record, me.record)]
+                     if other_id != ap_id and g.active_at(now)
+                     and in_contention(g.record, me.record)]
         callback(neighbors)
 
     def deregister(self, ap_id: str) -> None:
@@ -162,5 +218,6 @@ class SasRegistry(SpectrumRegistry):
 
     @property
     def active_grants(self) -> int:
-        """Grants currently on the books."""
-        return len(self._grants)
+        """Grants currently in force (``active_at`` now)."""
+        now = self.sim.now
+        return sum(1 for g in self._grants.values() if g.active_at(now))

@@ -20,6 +20,7 @@ from repro.experiments import (
     e12_deployment_cost,
     e13_idle_paging,
     e14_nr_upgrade,
+    e16_resilience,
     t1_design_space,
 )
 from repro.metrics.tables import ResultTable
@@ -28,7 +29,7 @@ from repro.metrics.tables import ResultTable
 def test_registry_covers_all_ids():
     assert set(ALL_EXPERIMENTS) == {
         "T1", "F1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-        "E11", "E12", "E13", "E14", "E15"}
+        "E11", "E12", "E13", "E14", "E15", "E16"}
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
         assert module.__doc__
@@ -93,3 +94,10 @@ def test_e13_smoke():
 def test_e14_smoke():
     _check(e14_nr_upgrade.run(distances_m=[500, 8000]), 4)
     _check(e14_nr_upgrade.latency_ladder(), 5)
+
+
+def test_e16_smoke():
+    timeline, summary = e16_resilience.run(
+        n_ues=4, fail_at_s=3.0, outage_s=6.0, horizon_s=15.0)
+    _check(timeline, 2 * 15)
+    _check(summary, 2)

@@ -8,6 +8,8 @@ protocol reconverges.
 import pytest
 
 from repro.core import DLTENetwork
+from repro.epc.ue import UeState
+from repro.faults import FaultInjector
 from repro.workloads import RuralTown
 
 
@@ -66,3 +68,79 @@ def test_rejoin_after_churn(federation):
     union = frozenset().union(*(ap.cell.allowed_prbs
                                 for ap in net.aps.values()))
     assert len(union) == 50
+
+
+def _busiest_ap(net):
+    served = {}
+    for ue_id, ap_id in net._serving_ap.items():
+        served.setdefault(ap_id, []).append(ue_id)
+    victim_id = max(sorted(served), key=lambda a: len(served[a]))
+    return victim_id, served[victim_id]
+
+
+def test_crash_restart_lifecycle_leaves_no_stuck_state(federation):
+    """Power-cycle an AP through the network helpers: clients drop,
+    survivors reclaim, the restart re-peers and every client re-attaches."""
+    net = federation
+    sim = net.sim
+    victim_id, its_ue_ids = _busiest_ap(net)
+    victim = net.aps[victim_id]
+    its_ues = [net.ues[u] for u in its_ue_ids]
+    assert its_ues  # the busiest AP serves someone
+
+    net.crash_ap(victim_id)
+    assert not victim.alive and victim.crashes == 1
+    assert victim.stub.sessions == {}
+    assert victim.pool.in_use == 0  # every address back in the pool
+    for ue in its_ues:
+        assert ue.state is UeState.IDLE
+        assert ue.air is None and ue.ue_address is None
+
+    sim.run(until=sim.now + 8.0)  # > missed_limit x heartbeat
+    survivors = [ap for ap in net.aps.values() if ap.ap_id != victim_id]
+    for ap in survivors:
+        assert victim_id not in ap.x2.peer_ids
+        assert ap.peer_monitor.is_dead(victim_id)
+
+    net.restart_ap(victim_id)
+    sim.run(until=sim.now + 10.0)
+    assert victim.alive
+    for ue in its_ues:  # clients re-attached with fresh sessions
+        assert ue.state is UeState.ATTACHED
+        assert ue.ue_address is not None
+        assert ue.attach_retries_exhausted == 0
+    for ap in survivors:  # peers re-admitted the recovered AP
+        assert victim_id in ap.x2.peer_ids
+        assert not ap.peer_monitor.is_dead(victim_id)
+        assert ap.peer_monitor.peers_rejoined == 1
+    # spectrum reconverged to the full 3-way split
+    sizes = sorted(len(ap.cell.allowed_prbs) for ap in net.aps.values())
+    assert sizes == [16, 17, 17]
+
+
+def test_injected_crash_restart_via_fault_injector(federation):
+    """The same lifecycle driven by the FaultInjector schedule."""
+    net = federation
+    sim = net.sim
+    victim_id, its_ue_ids = _busiest_ap(net)
+    injector = FaultInjector(sim)
+
+    class _ApAdapter:
+        ap_id = victim_id
+
+        @staticmethod
+        def crash():
+            net.crash_ap(victim_id)
+
+        @staticmethod
+        def restart():
+            net.restart_ap(victim_id)
+
+    injector.crash(_ApAdapter, at_s=sim.now + 2.0, restart_after_s=8.0)
+    sim.run(until=sim.now + 25.0)
+    assert [r.action for r in injector.log] == ["crash", "restart"]
+    assert net.aps[victim_id].alive
+    for ue_id in its_ue_ids:
+        assert net.ues[ue_id].state is UeState.ATTACHED
+    sizes = sorted(len(ap.cell.allowed_prbs) for ap in net.aps.values())
+    assert sizes == [16, 17, 17]

@@ -107,6 +107,55 @@ def test_start_idempotent():
     assert monitor.heartbeats_sent <= 6
 
 
+def test_recovered_peer_readmitted_and_split_reconverges():
+    sim = Simulator(5)
+    endpoints, coords, monitors = _federation(sim, 3, heartbeat_s=1.0)
+    sim.run(until=5.0)
+
+    monitors[2].stop()             # ap2 loses power
+    saved = list(endpoints[2].handlers)
+    endpoints[2].handlers.clear()
+    sim.run(until=15.0)
+    assert monitors[0].is_dead("ap2") and monitors[1].is_dead("ap2")
+    assert len(coords[0].my_prbs) == 25  # survivors split 2 ways
+
+    # power restored: re-peer, re-announce, resume heartbeating
+    endpoints[2].handlers.extend(saved)
+    rejoined = []
+    monitors[0].on_peer_rejoined = lambda peer: rejoined.append(
+        (sim.now, peer))
+    for i in (0, 1):
+        endpoints[2].connect_peer(endpoints[i], one_way_delay_s=0.02)
+    coords[2].announce()
+    monitors[2].start()
+    sim.run(until=30.0)
+
+    assert monitors[0].peers_rejoined == 1
+    assert monitors[1].peers_rejoined == 1
+    assert not monitors[0].is_dead("ap2")
+    assert rejoined and rejoined[0][1] == "ap2"
+    # the restarted monitor must not falsely declare the (stale-stamped)
+    # survivors dead on its first liveness check
+    assert monitors[2].peers_lost == 0
+    # shares reconverged to the equal 3-way split, still disjoint
+    assert all(len(c.my_prbs) in (16, 17) for c in coords)
+    assert len(coords[0].my_prbs | coords[1].my_prbs
+               | coords[2].my_prbs) == 50
+
+
+def test_monitor_restart_retires_stale_process():
+    sim = Simulator(6)
+    endpoints, coords, monitors = _federation(sim, 2, heartbeat_s=1.0)
+    sim.run(until=2.5)
+    # stop and immediately restart, inside the old process's pending
+    # heartbeat timeout: only one heartbeat loop may survive
+    monitors[0].stop()
+    monitors[0].start()
+    before = monitors[0].heartbeats_sent
+    sim.run(until=12.5)
+    assert monitors[0].heartbeats_sent - before <= 11
+
+
 def test_last_heard_tracking():
     sim = Simulator(4)
     endpoints, coords, monitors = _federation(sim, 2, heartbeat_s=1.0)
