@@ -11,8 +11,10 @@ from repro.enodeb.cell import Cell, UeRadioContext
 from repro.geo import Point
 from repro.mac.csma import CsmaNode, CsmaSimulation
 from repro.mac.schedulers import ProportionalFairScheduler, SchedulableUser
+from repro.metrics.stats import summarize
 from repro.phy import LinkBudget, OkumuraHata, Radio, get_band
 from repro.simcore import Simulator
+from repro.telemetry import MetricsRegistry
 
 
 def test_kernel_event_throughput(benchmark):
@@ -90,3 +92,28 @@ def test_csma_slot_rate(benchmark):
 
     result = benchmark(run)
     assert result.total_delivered > 0
+
+
+def test_summarize_ndarray_fast_path(benchmark):
+    """summarize() on a 100k-sample ndarray: no copies, one sort."""
+    samples = np.random.default_rng(7).exponential(2.0, size=100_000)
+
+    summary = benchmark(summarize, samples)
+    assert summary["count"] == 100_000
+    assert summary["median"] <= summary["p95"]
+
+
+def test_metrics_hot_path_rate(benchmark):
+    """The per-event telemetry cost: cached counter inc + histogram
+    observe, the pattern every instrumented component uses."""
+    registry = MetricsRegistry()
+    counter = registry.counter("net.link.delivered", link="bench")
+    hist = registry.histogram("phy.sinr_db", cell="bench")
+
+    def hot_loop():
+        for i in range(10_000):
+            counter.inc()
+            hist.observe(float(i % 40))
+        return counter.value
+
+    assert benchmark(hot_loop) > 0

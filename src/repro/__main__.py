@@ -8,17 +8,34 @@ Examples::
     python -m repro T1 E3 E12      # quick ones
     python -m repro --list
     python -m repro --all          # everything (several minutes: E6/E7)
+
+Telemetry (see OBSERVABILITY.md)::
+
+    python -m repro E16 --metrics-out e16.csv      # metrics snapshot
+    python -m repro E16 --trace-out e16.jsonl      # traces + spans
+    python -m repro E16 --profile                  # hot-path table
+
+With none of these flags, experiments run exactly as before —
+telemetry recording is passive and results stay byte-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.metrics.tables import ResultTable
+from repro.telemetry.hub import HUB
+from repro.telemetry.exporters import (
+    summary_table,
+    write_events_jsonl,
+    write_metrics_csv,
+    write_metrics_text,
+)
 
 
 def _print_result(result) -> None:
@@ -32,13 +49,73 @@ def _print_result(result) -> None:
         print(result)
 
 
-def run_experiment(exp_id: str) -> None:
-    """Run one experiment module's ``run()`` and print its tables."""
+def _suffixed(path: str, exp_id: str, multi: bool) -> str:
+    """Per-experiment artifact name: ``out.csv`` -> ``out-E16.csv``."""
+    if not multi:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}-{exp_id}{ext}"
+
+
+def _export_run(exp_id: str, run, metrics_out: Optional[str],
+                trace_out: Optional[str], profile: bool,
+                multi: bool) -> None:
+    rows = run.metrics_rows()
+    if metrics_out:
+        path = _suffixed(metrics_out, exp_id, multi)
+        if path.endswith(".csv"):
+            n = write_metrics_csv(rows, path)
+        else:
+            n = write_metrics_text(rows, path)
+        print(f"[{exp_id} metrics: {n} rows -> {path}]")
+    if trace_out:
+        path = _suffixed(trace_out, exp_id, multi)
+        n = write_events_jsonl(path, tracers=run.tracers,
+                               span_trackers=run.span_trackers)
+        print(f"[{exp_id} events: {n} lines -> {path}]")
+    print(summary_table(rows, title=f"{exp_id} telemetry summary").render())
+    print(f"[{exp_id} subsystems: {', '.join(run.subsystems())}]")
+    if profile and run.profiler is not None:
+        prof = run.profiler
+        print()
+        print(f"[{exp_id} profile: {prof.events:,} events in "
+              f"{prof.wall_s:.3f} s wall "
+              f"({prof.events_per_sec:,.0f} events/s)]")
+        print(prof.hot_path_table().render())
+        category_table = prof.category_table()
+        if category_table.rows:
+            print()
+            print(category_table.render())
+    print()
+
+
+def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
+                   trace_out: Optional[str] = None, profile: bool = False,
+                   multi: bool = False) -> None:
+    """Run one experiment module's ``run()`` and print its tables.
+
+    When any telemetry output is requested, the run is bracketed with
+    :meth:`TelemetryHub.start_run` / ``finish_run`` so every simulator
+    the experiment builds is collected, then artifacts are written.
+    """
     module = ALL_EXPERIMENTS[exp_id]
+    collect = bool(metrics_out or trace_out or profile)
     started = time.time()
     print(f"=== {exp_id}: {module.__doc__.strip().splitlines()[0]}")
     print()
-    _print_result(module.run())
+    if collect:
+        HUB.start_run(profile=profile, trace=bool(trace_out))
+        try:
+            result = module.run()
+        except BaseException:
+            HUB.abort_run()
+            raise
+        run = HUB.finish_run()
+    else:
+        result = module.run()
+    _print_result(result)
+    if collect:
+        _export_run(exp_id, run, metrics_out, trace_out, profile, multi)
     print(f"[{exp_id} done in {time.time() - started:.1f} s]")
     print()
 
@@ -53,6 +130,16 @@ def main(argv: List[str] = None) -> int:
                         help="run every experiment")
     parser.add_argument("--list", action="store_true",
                         help="list experiments and exit")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics snapshot per experiment "
+                             "(.csv for CSV, anything else for "
+                             "Prometheus-style text)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write trace events and spans as JSONL "
+                             "per experiment")
+    parser.add_argument("--profile", action="store_true",
+                        help="time every event callback; print events/sec "
+                             "and the top-10 hot paths")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -71,7 +158,9 @@ def main(argv: List[str] = None) -> int:
               f"choices: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
     for exp_id in ids:
-        run_experiment(exp_id)
+        run_experiment(exp_id, metrics_out=args.metrics_out,
+                       trace_out=args.trace_out, profile=args.profile,
+                       multi=len(ids) > 1)
     return 0
 
 

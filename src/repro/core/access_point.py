@@ -118,6 +118,17 @@ class DLTEAccessPoint:
         self.crashes = 0
         self._saved_x2_handlers: List[Callable] = []
 
+        metrics = sim.metrics
+        self._m_renewals = metrics.counter("spectrum.lease.renewals",
+                                           ap=ap_id)
+        self._m_renewal_failures = metrics.counter(
+            "spectrum.lease.renewal_failures", ap=ap_id)
+        self._m_crashes = metrics.counter("core.ap.crashes", ap=ap_id)
+        self._m_handovers_in = metrics.counter("core.ap.handovers_in",
+                                               ap=ap_id)
+        self._m_handovers_out = metrics.counter("core.ap.handovers_out",
+                                                ap=ap_id)
+
         # attached clients
         self._ue_hosts: Dict[str, Host] = {}
         self._ue_objects: Dict[str, UserEquipment] = {}
@@ -191,13 +202,18 @@ class DLTEAccessPoint:
             if not (self._renewing_lease and self.alive):
                 break
             done = self.sim.event(f"lease-renew:{self.ap_id}")
+            renew_span = self.sim.span("spectrum.lease.renew", ap=self.ap_id)
             heartbeat(self.ap_id, done.succeed)
             renewed = yield done
             if renewed is not None:
                 self.grant = renewed
                 self.lease_renewals += 1
+                self._m_renewals.inc()
+                renew_span.end(status="ok")
                 continue
             self.lease_renewal_failures += 1
+            self._m_renewal_failures.inc()
+            renew_span.end(status="failed")
             self.sim.trace("spectrum", f"{self.ap_id}: lease renewal failed",
                            active=self.grant_active)
             if not self.grant_active and self.spectrum_registry.is_available():
@@ -223,6 +239,7 @@ class DLTEAccessPoint:
             return
         self.alive = False
         self.crashes += 1
+        self._m_crashes.inc()
         self.sim.trace("fault", f"{self.ap_id}: crashed")
         if self.peer_monitor is not None:
             self.peer_monitor.stop()
@@ -395,6 +412,7 @@ class DLTEAccessPoint:
                 self.stub.preload_key(message.imsi, message.key_context)
             if admitted:
                 self.handovers_in += 1
+                self._m_handovers_in.inc()
             self.x2.send(from_ap, HandoverRequestAck(
                 sender_ap=self.ap_id, ue_id=message.ue_id,
                 admitted=admitted))
@@ -403,6 +421,7 @@ class DLTEAccessPoint:
             if callback is not None:
                 if message.admitted:
                     self.handovers_out += 1
+                    self._m_handovers_out.inc()
                 callback(message.admitted)
 
     @property

@@ -19,6 +19,8 @@ from repro.phy.harq import harq_goodput_factor
 from repro.phy.linkbudget import LinkBudget, Radio
 from repro.phy.mcs import select_lte_cqi
 from repro.phy.resource_grid import ResourceGrid, bits_per_prb
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.hub import ambient_registry
 
 
 @dataclass
@@ -42,7 +44,8 @@ class Cell:
                  height_m: float = 30.0,
                  scheduler: Optional[LteScheduler] = None,
                  harq_enabled: bool = True,
-                 harq_max_retx: int = 3) -> None:
+                 harq_max_retx: int = 3,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.name = name
         self.band = band
         self.radio = Radio(position=position, tx_power_dbm=tx_power_dbm,
@@ -60,6 +63,18 @@ class Cell:
         self.allowed_prbs: FrozenSet[int] = self.grid.all_prbs
         #: Interfering cells currently transmitting on overlapping PRBs.
         self.interferers: List["Cell"] = []
+        # A Cell has no simulator of its own (it is driven by explicit
+        # TTI calls), so it records into the ambient registry unless
+        # handed one. Instruments cached; recording is passive.
+        if metrics is None:
+            metrics = ambient_registry()
+        self._m_rsrp = metrics.histogram("phy.rsrp_dbm", cell=name)
+        self._m_sinr = metrics.histogram("phy.sinr_db", cell=name)
+        self._m_harq = metrics.histogram("phy.harq.goodput_factor", cell=name)
+        self._m_no_cqi = metrics.counter("phy.mcs.below_cqi_floor", cell=name)
+        self._m_ttis = metrics.counter("mac.cell.ttis", cell=name)
+        self._m_prbs = metrics.histogram("mac.cell.granted_prbs", cell=name)
+        self._m_attached = metrics.gauge("mac.cell.attached_ues", cell=name)
 
     @property
     def position(self) -> Point:
@@ -73,10 +88,15 @@ class Cell:
         if ctx.ue_id in self._ues:
             raise ValueError(f"UE {ctx.ue_id} already attached to {self.name}")
         self._ues[ctx.ue_id] = ctx
+        self._m_attached.set(len(self._ues))
+        # RSRP is deterministic in (cell, UE) positions (shadowing is
+        # hash-based), so observing it here cannot perturb a run.
+        self._m_rsrp.observe(self.rsrp_to(ctx.radio))
 
     def remove_ue(self, ue_id: str) -> None:
         """Detach a UE and drop its scheduler history."""
-        self._ues.pop(ue_id, None)
+        if self._ues.pop(ue_id, None) is not None:
+            self._m_attached.set(len(self._ues))
         self.scheduler.forget(ue_id)
 
     @property
@@ -106,11 +126,13 @@ class Cell:
         Goodput per UE = granted PRBs x bits/PRB at its CQI x the HARQ
         delivery factor at its SINR.
         """
+        self._m_ttis.inc()
         users = []
         sinrs: Dict[str, float] = {}
         for ctx in self._ues.values():
             sinr = self.sinr_to(ctx.radio)
             sinrs[ctx.ue_id] = sinr
+            self._m_sinr.observe(sinr)
             users.append(SchedulableUser(user_id=ctx.ue_id, sinr_db=sinr,
                                          backlog_bits=ctx.backlog_bits,
                                          gbr_bps=ctx.gbr_bps,
@@ -121,11 +143,14 @@ class Cell:
             sinr = sinrs[ue_id]
             entry = select_lte_cqi(sinr)
             if entry is None:
+                self._m_no_cqi.inc()
                 continue
             factor = 1.0
             if self.harq_enabled:
                 factor = harq_goodput_factor(sinr, entry.min_sinr_db,
                                              max_retx=self.harq_max_retx)
+                self._m_harq.observe(factor)
+            self._m_prbs.observe(len(prbs))
             delivered[ue_id] = (len(prbs) * bits_per_prb(entry.efficiency_bps_hz)
                                 * factor)
         return delivered
@@ -141,6 +166,7 @@ class Cell:
         Uses the uplink link budget (UE transmits, cell receives) and the
         same HARQ goodput adjustment as the downlink.
         """
+        self._m_ttis.inc()
         users = []
         sinrs: Dict[str, float] = {}
         for ctx in self._ues.values():
@@ -157,12 +183,15 @@ class Cell:
                 continue
             entry = select_lte_cqi(sinrs[ue_id])
             if entry is None:
+                self._m_no_cqi.inc()
                 continue
             factor = 1.0
             if self.harq_enabled:
                 factor = harq_goodput_factor(sinrs[ue_id],
                                              entry.min_sinr_db,
                                              max_retx=self.harq_max_retx)
+                self._m_harq.observe(factor)
+            self._m_prbs.observe(len(prbs))
             delivered[ue_id] = (len(prbs)
                                 * bits_per_prb(entry.efficiency_bps_hz)
                                 * factor)

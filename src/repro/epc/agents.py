@@ -29,6 +29,7 @@ class ControlMessage:
     payload: object
     sender: "ControlAgent"
     sent_at: float = 0.0
+    queued_at: float = 0.0
 
 
 class ControlAgent:
@@ -50,11 +51,18 @@ class ControlAgent:
         self.processed = 0
         self.busy_time_s = 0.0
         self.peak_queue_depth = 0
+        self._m_processed = sim.metrics.counter("epc.agent.processed",
+                                                agent=name)
+        self._m_queue = sim.metrics.gauge("epc.agent.queue_depth", agent=name)
+        self._m_wait = sim.metrics.histogram("epc.agent.queue_wait_s",
+                                             agent=name)
 
     def enqueue(self, message: ControlMessage) -> None:
         """Accept an inbound message (called by channels)."""
+        message.queued_at = self.sim.now
         self._queue.append(message)
         self.peak_queue_depth = max(self.peak_queue_depth, len(self._queue))
+        self._m_queue.set(len(self._queue))
         if not self._busy:
             self._serve_next()
 
@@ -64,11 +72,14 @@ class ControlAgent:
             return
         self._busy = True
         message = self._queue.popleft()
+        self._m_queue.set(len(self._queue))
+        self._m_wait.observe(self.sim.now - message.queued_at)
         self.sim.schedule(self.service_time_s, self._finish, message)
 
     def _finish(self, message: ControlMessage) -> None:
         self.busy_time_s += self.service_time_s
         self.processed += 1
+        self._m_processed.inc()
         self.handle(message)
         self._serve_next()
 
@@ -110,6 +121,12 @@ class ControlChannel:
         self.messages = 0
         self.bytes = 0
         self.dropped = 0
+        self._m_messages = sim.metrics.counter("epc.channel.messages",
+                                               channel=self.name)
+        self._m_bytes = sim.metrics.counter("epc.channel.bytes",
+                                            channel=self.name)
+        self._m_dropped = sim.metrics.counter("epc.channel.dropped",
+                                              channel=self.name)
 
     def set_up(self, up: bool) -> None:
         """Raise or cut the channel (both directions)."""
@@ -132,11 +149,15 @@ class ControlChannel:
         receiver = self.other_end(sender)
         if not self.up:
             self.dropped += 1
+            self._m_dropped.inc()
             self.sim.trace("drop", f"channel {self.name}: down",
                            payload=type(payload).__name__)
             return
         self.messages += 1
-        self.bytes += getattr(payload, "size_bytes", 0)
+        size = getattr(payload, "size_bytes", 0)
+        self.bytes += size
+        self._m_messages.inc()
+        self._m_bytes.inc(size)
         message = ControlMessage(payload=payload, sender=sender,
                                  sent_at=self.sim.now)
         self.sim.schedule(self.one_way_delay_s, receiver.enqueue, message)

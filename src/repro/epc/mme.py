@@ -92,6 +92,17 @@ class Mme(ControlAgent):
         self.path_switches = 0
         self.pages_sent = 0
         self.service_requests = 0
+        metrics = sim.metrics
+        self._m_completed = metrics.counter("epc.attach.completed", core=name)
+        self._m_rejected = metrics.counter("epc.attach.rejected", core=name)
+        self._m_switches = metrics.counter("epc.mme.path_switches", core=name)
+        self._m_pages = metrics.counter("epc.mme.pages_sent", core=name)
+        self._m_service = metrics.counter("epc.mme.service_requests",
+                                          core=name)
+        self._m_attach_s = metrics.histogram("epc.attach.mme_latency_s",
+                                             core=name)
+        #: open epc.attach spans keyed by ue_id
+        self._attach_spans: Dict[str, object] = {}
 
     # -- wiring ----------------------------------------------------------------
 
@@ -139,6 +150,13 @@ class Mme(ControlAgent):
         elif isinstance(payload, ServiceRequest):
             self._on_service_request(payload)
 
+    def _reject_attach(self, ctx: UeContext, cause: str) -> None:
+        self.attaches_rejected += 1
+        self._m_rejected.inc()
+        span = self._attach_spans.pop(ctx.ue_id, None)
+        if span is not None:
+            span.end(status="rejected", cause=cause)
+
     # -- attach procedure ------------------------------------------------------------
 
     def _on_attach_request(self, enb_name: str, request: AttachRequest) -> None:
@@ -146,6 +164,11 @@ class Mme(ControlAgent):
                         serving_enb=enb_name,
                         attach_started_at=self.sim.now)
         self.contexts[request.ue_id] = ctx
+        stale = self._attach_spans.pop(request.ue_id, None)
+        if stale is not None:
+            stale.end(status="superseded")
+        self._attach_spans[request.ue_id] = self.sim.span(
+            "epc.attach", core=self.name, ue=request.ue_id, enb=enb_name)
         self.s6a.send(self, AuthInfoRequest(ue_id=request.ue_id,
                                             imsi=request.imsi))
 
@@ -154,7 +177,7 @@ class Mme(ControlAgent):
         if ctx is None or ctx.state is not UeContextState.AWAITING_VECTOR:
             return
         if answer.vector is None:
-            self.attaches_rejected += 1
+            self._reject_attach(ctx, answer.cause)
             self._to_ue(ctx, AttachReject(ue_id=ctx.ue_id, cause=answer.cause))
             del self.contexts[ctx.ue_id]
             return
@@ -169,7 +192,7 @@ class Mme(ControlAgent):
         if ctx is None or ctx.state is not UeContextState.AUTHENTICATING:
             return
         if not hmac.compare_digest(response.res, ctx.vector.xres):
-            self.attaches_rejected += 1
+            self._reject_attach(ctx, "auth-failure")
             self._to_ue(ctx, AuthenticationReject(ue_id=ctx.ue_id))
             del self.contexts[ctx.ue_id]
             return
@@ -189,7 +212,7 @@ class Mme(ControlAgent):
         if ctx is None or ctx.state is not UeContextState.CREATING_SESSION:
             return
         if response.ue_address is None:
-            self.attaches_rejected += 1
+            self._reject_attach(ctx, response.cause)
             self._to_ue(ctx, AttachReject(ue_id=ctx.ue_id, cause=response.cause))
             del self.contexts[ctx.ue_id]
             return
@@ -206,6 +229,11 @@ class Mme(ControlAgent):
             return
         ctx.state = UeContextState.ATTACHED
         self.attaches_completed += 1
+        self._m_completed.inc()
+        self._m_attach_s.observe(self.sim.now - ctx.attach_started_at)
+        span = self._attach_spans.pop(ctx.ue_id, None)
+        if span is not None:
+            span.end(status="ok")
         self.sim.trace("attach", f"{self.name}: attach complete",
                        ue=ctx.ue_id, enb=ctx.serving_enb)
 
@@ -230,6 +258,7 @@ class Mme(ControlAgent):
         if ctx is None:
             return
         self.path_switches += 1
+        self._m_switches.inc()
         self._to_ue(ctx, PathSwitchAck(ue_id=ctx.ue_id))
 
     # -- idle mode / paging ----------------------------------------------------------
@@ -252,6 +281,7 @@ class Mme(ControlAgent):
         for channel in self.s1.values():
             channel.send(self, Paging(ue_id=ue_id))
             self.pages_sent += 1
+            self._m_pages.inc()
         return len(self.s1)
 
     def _on_service_request(self, msg: ServiceRequest) -> None:
@@ -259,5 +289,6 @@ class Mme(ControlAgent):
         if ctx is None or ctx.state is not UeContextState.ATTACHED:
             return
         self.service_requests += 1
+        self._m_service.inc()
         ctx.ecm_connected = True
         self._to_ue(ctx, ServiceAccept(ue_id=ctx.ue_id))

@@ -60,6 +60,17 @@ class LocalCoreStub(ControlAgent):
         self.cache_hits = 0
         self.crashes = 0
         self.dropped_while_down = 0
+        metrics = sim.metrics
+        self._m_completed = metrics.counter("epc.attach.completed", core=name)
+        self._m_rejected = metrics.counter("epc.attach.rejected", core=name)
+        self._m_cache_hits = metrics.counter("epc.stub.key_cache_hits",
+                                             core=name)
+        self._m_fetches = metrics.counter("epc.stub.registry_fetches",
+                                          core=name)
+        self._m_crashes = metrics.counter("epc.stub.crashes", core=name)
+        self._m_sessions = metrics.gauge("epc.stub.sessions", core=name)
+        #: open epc.attach spans keyed by ue_id (request -> accept/reject)
+        self._attach_spans: Dict[str, object] = {}
         self.on_session_created: Optional[
             Callable[[str, IPv4Address], None]] = None
         self.on_session_deleted: Optional[Callable[[str], None]] = None
@@ -82,6 +93,10 @@ class LocalCoreStub(ControlAgent):
             return
         self.alive = False
         self.crashes += 1
+        self._m_crashes.inc()
+        for span in self._attach_spans.values():
+            span.end(status="crashed")
+        self._attach_spans.clear()
         for ue_id in list(self.sessions):
             address = self.sessions.pop(ue_id)
             self.pool.release(address)
@@ -89,6 +104,7 @@ class LocalCoreStub(ControlAgent):
                 self.on_session_deleted(ue_id)
         self._pending_vector.clear()
         self._queue.clear()
+        self._m_sessions.set(0)
         self.sim.trace("fault", f"{self.name}: crashed")
 
     def restart(self) -> None:
@@ -122,21 +138,32 @@ class LocalCoreStub(ControlAgent):
             self._on_security_complete(payload)
         elif isinstance(payload, AttachComplete):
             self.attaches_completed += 1
+            self._m_completed.inc()
+            span = self._attach_spans.pop(payload.ue_id, None)
+            if span is not None:
+                span.end(status="ok")
         elif isinstance(payload, DetachRequest):
             self._on_detach(payload)
 
     # -- attach -----------------------------------------------------------------------
 
     def _on_attach_request(self, request: AttachRequest) -> None:
+        stale = self._attach_spans.pop(request.ue_id, None)
+        if stale is not None:
+            stale.end(status="superseded")
+        self._attach_spans[request.ue_id] = self.sim.span(
+            "epc.attach", core=self.name, ue=request.ue_id)
         key = self._key_cache.get(request.imsi)
         if key is not None:
             self.cache_hits += 1
+            self._m_cache_hits.inc()
             self._challenge(request.ue_id, request.imsi, key)
             return
         if self.registry is None:
             self._reject(request.ue_id, "unknown-subscriber")
             return
         self.registry_fetches += 1
+        self._m_fetches.inc()
         self.registry.lookup(
             request.imsi,
             lambda fetched: self._on_key_fetched(request, fetched))
@@ -179,6 +206,7 @@ class LocalCoreStub(ControlAgent):
             self._reject(msg.ue_id, "no-addresses")
             return
         self.sessions[msg.ue_id] = address
+        self._m_sessions.set(len(self.sessions))
         self.sim.trace("attach", f"{self.name}: session created",
                        ue=msg.ue_id, address=str(address))
         if self.on_session_created is not None:
@@ -190,9 +218,14 @@ class LocalCoreStub(ControlAgent):
         address = self.sessions.pop(msg.ue_id, None)
         if address is not None:
             self.pool.release(address)
+            self._m_sessions.set(len(self.sessions))
             if self.on_session_deleted is not None:
                 self.on_session_deleted(msg.ue_id)
 
     def _reject(self, ue_id: str, cause: str) -> None:
         self.attaches_rejected += 1
+        self._m_rejected.inc()
+        span = self._attach_spans.pop(ue_id, None)
+        if span is not None:
+            span.end(status="rejected", cause=cause)
         self.s1.send(self, AttachReject(ue_id=ue_id, cause=cause))

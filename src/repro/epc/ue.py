@@ -81,6 +81,13 @@ class UserEquipment(ControlAgent):
         self.went_idle_at: Optional[float] = None
         self.service_resumed_at: Optional[float] = None
         self.pages_received = 0
+        metrics = sim.metrics
+        self._m_attach_s = metrics.histogram("nas.attach.latency_s")
+        self._m_attempts = metrics.counter("nas.attach.attempts")
+        self._m_rejects = metrics.counter("nas.attach.rejected")
+        self._m_pages = metrics.counter("nas.pages_received")
+        #: the end-to-end nas.attach span for the attempt in flight
+        self._attach_span = None
 
     @property
     def ue_id(self) -> str:
@@ -107,8 +114,17 @@ class UserEquipment(ControlAgent):
         self.state = UeState.ATTACHING
         self.attach_started_at = self.sim.now
         self.attach_completed_at = None
+        self._m_attempts.inc()
+        self._end_attach_span(status="superseded")
+        self._attach_span = self.sim.span("nas.attach", ue=self.ue_id)
         self.air.send(self, AttachRequest(ue_id=self.ue_id,
                                           imsi=self.profile.imsi))
+
+    def _end_attach_span(self, status: str, **attrs) -> None:
+        span = self._attach_span
+        if span is not None:
+            self._attach_span = None
+            span.end(status=status, **attrs)
 
     def start_attach_with_retry(self, max_attempts: int = 8,
                                 timeout_s: float = 2.0,
@@ -177,6 +193,7 @@ class UserEquipment(ControlAgent):
         self.state = UeState.IDLE
         self.ue_address = None
         self.ecm_connected = True
+        self._end_attach_span(status="radio-lost")
         self._settle_attach()
 
     def detach(self) -> None:
@@ -209,6 +226,9 @@ class UserEquipment(ControlAgent):
             self._on_attach_accept(payload)
         elif isinstance(payload, (AttachReject, AuthenticationReject)):
             self.state = UeState.REJECTED
+            self._m_rejects.inc()
+            self._end_attach_span(
+                status="rejected", cause=getattr(payload, "cause", "rejected"))
             self._settle_attach()
             if self.on_rejected is not None:
                 self.on_rejected(self, getattr(payload, "cause", "rejected"))
@@ -228,6 +248,8 @@ class UserEquipment(ControlAgent):
                 sqn=request.sqn):
             self.network_auth_failures += 1
             self.state = UeState.REJECTED
+            self._m_rejects.inc()
+            self._end_attach_span(status="rejected", cause="network-auth")
             self._settle_attach()
             if self.on_rejected is not None:
                 cause = ("replayed-challenge" if not fresh
@@ -240,6 +262,7 @@ class UserEquipment(ControlAgent):
 
     def _on_paging(self) -> None:
         self.pages_received += 1
+        self._m_pages.inc()
         if not self.ecm_connected and self.state is UeState.ATTACHED:
             self.air.send(self, ServiceRequest(ue_id=self.ue_id))
 
@@ -255,6 +278,9 @@ class UserEquipment(ControlAgent):
         self.guti = accept.guti
         self.state = UeState.ATTACHED
         self.attach_completed_at = self.sim.now
+        self._m_attach_s.observe(self.attach_completed_at
+                                 - self.attach_started_at)
+        self._end_attach_span(status="ok")
         self.air.send(self, AttachComplete(ue_id=self.ue_id))
         self._settle_attach()
         if self.on_attached is not None:

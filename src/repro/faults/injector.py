@@ -65,14 +65,18 @@ class FaultInjector:
         self.log: List[FaultRecord] = []
         self.faults_injected = 0
         self._names = set()
+        self._m_fired = sim.metrics.counter("faults.activations")
 
     # -- bookkeeping -------------------------------------------------------
 
     def _fire(self, name: str, action: str, fn: Callable, *args) -> None:
         self.faults_injected += 1
+        self._m_fired.inc()
         self.log.append(FaultRecord(time_s=self.sim.now, name=name,
                                     action=action))
         self.sim.trace("fault", f"{name}: {action}")
+        self.sim.telemetry.spans.event("fault.activation", fault=name,
+                                       action=action)
         fn(*args)
 
     def _at(self, at_s: float, name: str, action: str,

@@ -19,6 +19,9 @@ from typing import Dict, FrozenSet, List, Optional
 
 import numpy as np
 
+from repro.telemetry.hub import ambient_registry
+from repro.telemetry.registry import MetricsRegistry
+
 #: 802.11 DCF defaults (802.11b/g-era, matching Bianchi's parametrization).
 CW_MIN = 16
 CW_MAX = 1024
@@ -97,7 +100,8 @@ class CsmaSimulation:
     """
 
     def __init__(self, nodes: List[CsmaNode], rng: np.random.Generator,
-                 frame_slots: int = 50) -> None:
+                 frame_slots: int = 50,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if frame_slots <= 0:
             raise ValueError("frame_slots must be positive")
         ids = [n.node_id for n in nodes]
@@ -107,6 +111,13 @@ class CsmaSimulation:
         self.rng = rng
         self.frame_slots = frame_slots
         self.busy_slots = 0
+        # slot-loop MAC has no simulator; record into the ambient registry
+        if metrics is None:
+            metrics = ambient_registry()
+        self._m_sent = metrics.counter("mac.csma.frames_sent")
+        self._m_delivered = metrics.counter("mac.csma.frames_delivered")
+        self._m_collisions = metrics.counter("mac.csma.collisions")
+        self._m_backoff = metrics.histogram("mac.csma.backoff_slots")
         for node in nodes:
             node.cw = CW_MIN
             node.backoff = int(self.rng.integers(0, node.cw))
@@ -163,6 +174,7 @@ class CsmaSimulation:
         for node in starters:
             node.tx_remaining = self.frame_slots
             node.sent += 1
+            self._m_sent.inc()
             self._overlaps[node.node_id] = set()
 
     def _complete(self, nid: str) -> None:
@@ -177,13 +189,16 @@ class CsmaSimulation:
             harmful = overlapped
         if harmful:
             node.collided += 1
+            self._m_collisions.inc()
             node.cw = min(node.cw * 2, CW_MAX)
         else:
             node.delivered += 1
+            self._m_delivered.inc()
             node.cw = CW_MIN
         node.backoff = int(self.rng.integers(0, node.cw))
         if node.backoff == 0:
             node.backoff = 1  # DIFS gap: never back-to-back zero-slot grab
+        self._m_backoff.observe(node.backoff)
 
 
 def bianchi_throughput(n_nodes: int, frame_slots: int = 50,

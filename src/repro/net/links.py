@@ -60,6 +60,16 @@ class Link:
         self.dropped_down = 0
         self.dropped_loss = 0
         self.bytes_sent = 0
+        # telemetry instruments, fetched once so the hot path is an
+        # attribute access plus an integer add
+        metrics = sim.metrics
+        self._m_delivered = metrics.counter("net.link.delivered", link=name)
+        self._m_bytes = metrics.counter("net.link.bytes_sent", link=name)
+        self._m_queue = metrics.gauge("net.link.queue_depth", link=name)
+        self._m_drops = {
+            cause: metrics.counter("net.link.dropped", link=name, cause=cause)
+            for cause in ("overflow", "down", "loss")
+        }
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
         """Attach the downstream receive function."""
@@ -83,6 +93,8 @@ class Link:
             self._queue.clear()
             self.dropped += lost
             self.dropped_down += lost
+            self._m_drops["down"].inc(lost)
+            self._m_queue.set(0)
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Set the per-packet drop probability (0 disables loss)."""
@@ -100,6 +112,7 @@ class Link:
             self.dropped_down += 1
         else:
             self.dropped_loss += 1
+        self._m_drops[cause].inc()
         self.sim.trace("drop", f"link {self.name}: {cause}")
         return False
 
@@ -117,6 +130,7 @@ class Link:
             if len(self._queue) >= self.queue_packets:
                 return self._drop("overflow")
             self._queue.append(packet)
+            self._m_queue.set(len(self._queue))
             return True
         self._serialize(packet)
         return True
@@ -129,9 +143,11 @@ class Link:
 
     def _transmitted(self, packet: Packet) -> None:
         self.bytes_sent += packet.size_bytes
+        self._m_bytes.inc(packet.size_bytes)
         self.sim.schedule(self.delay_s, self._deliver, packet)
         if self._queue:
             self._serialize(self._queue.pop(0))
+            self._m_queue.set(len(self._queue))
         else:
             self._busy = False
 
@@ -140,6 +156,7 @@ class Link:
             self._drop("down")  # cut mid-flight
             return
         self.delivered += 1
+        self._m_delivered.inc()
         self.receiver(packet)
 
     def __repr__(self) -> str:

@@ -8,6 +8,8 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.simcore.events import AllOf, AnyOf, Event, Timeout
 from repro.simcore.rng import RngRegistry
+from repro.telemetry import Telemetry
+from repro.telemetry.hub import HUB
 
 
 class ScheduledCall:
@@ -43,11 +45,30 @@ class Simulator:
         self.events_executed = 0
         #: optional simcore.trace.Tracer; see :meth:`trace`
         self.tracer = None
+        #: optional telemetry.RunProfiler; when set, :meth:`step` times
+        #: every dispatched callback (opt-in — costs a perf_counter pair
+        #: per event; never changes simulation results)
+        self.profiler = None
+        #: always-on metrics + span bundle (recording is passive: no RNG,
+        #: no scheduling — instrumented runs stay bit-identical)
+        self.telemetry = Telemetry(lambda: self.now)
+        HUB.adopt(self)
 
     def trace(self, category: str, message: str, **fields: Any) -> None:
         """Record a trace event if a tracer is installed (else no-op)."""
+        if self.profiler is not None:
+            self.profiler.note_category(category)
         if self.tracer is not None:
             self.tracer.record(self.now, category, message, **fields)
+
+    @property
+    def metrics(self):
+        """This simulator's :class:`~repro.telemetry.MetricsRegistry`."""
+        return self.telemetry.metrics
+
+    def span(self, name: str, **attrs: Any):
+        """Open a causal span on the simulated clock (see telemetry.spans)."""
+        return self.telemetry.spans.begin(name, **attrs)
 
     # -- scheduling -------------------------------------------------------
 
@@ -103,7 +124,10 @@ class Simulator:
                 continue
             self.now = time
             self.events_executed += 1
-            fn(*args)
+            if self.profiler is None:
+                fn(*args)
+            else:
+                self.profiler.run_callback(fn, args)
             return True
         return False
 

@@ -9,6 +9,7 @@ and query by category/time/field.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional
@@ -81,6 +82,49 @@ class Tracer:
     def clear(self) -> None:
         """Drop all retained events (counters keep running)."""
         self._events.clear()
+
+    # -- persistence ----------------------------------------------------------------
+    #
+    # Traces used to die with the process; the JSONL round-trip lets a
+    # run's trace be saved, reloaded, and diffed against another run's.
+
+    def to_jsonl(self, path: str) -> int:
+        """Write retained events as JSONL; returns the line count.
+
+        Non-JSON field values (addresses, enums) are stringified, so a
+        reloaded trace compares by rendering, not object identity.
+        """
+        count = 0
+        with open(path, "w") as fh:
+            for event in self._events:
+                fh.write(json.dumps(
+                    {"type": "trace", "time_s": event.time_s,
+                     "category": event.category, "message": event.message,
+                     "fields": event.fields}, default=str) + "\n")
+                count += 1
+        return count
+
+    @classmethod
+    def from_jsonl(cls, path: str, max_events: int = 1_000_000,
+                   categories: Optional[Iterable[str]] = None) -> "Tracer":
+        """Rebuild a tracer from a :meth:`to_jsonl` file.
+
+        Lines with a ``type`` other than ``"trace"`` (e.g. span records
+        in a combined export) are skipped. The usual category filter
+        applies on reload, so one saved trace can be re-read narrowed.
+        """
+        tracer = cls(max_events=max_events, categories=categories)
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("type", "trace") != "trace":
+                    continue
+                tracer.record(record["time_s"], record["category"],
+                              record["message"], **record.get("fields", {}))
+        return tracer
 
     def __len__(self) -> int:
         return len(self._events)

@@ -122,6 +122,7 @@ class BlockchainRegistry(SpectrumRegistry):
     def _finalize(self, grant: SpectrumGrant, callback: GrantCallback) -> None:
         self._confirmed[grant.record.ap_id] = grant
         self.grants_issued += 1
+        self._m_grants.inc()
         callback(grant)
 
     # -- operations -------------------------------------------------------------------------
@@ -134,6 +135,7 @@ class BlockchainRegistry(SpectrumRegistry):
                            callback: DiscoverCallback) -> None:
         # local replica: answer at the next tick, no network latency
         self.queries_served += 1
+        self._m_queries.inc()
         me = self._confirmed.get(ap_id)
         if me is None:
             self.sim.call_soon(callback, [])

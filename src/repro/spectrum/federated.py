@@ -108,6 +108,7 @@ class FederatedRegistry(SpectrumRegistry):
         latency = self._contact_latency(record.ap_id, region)
         if region in self._failed_regions:
             self.refused += 1
+            self._m_refused.inc()
             self.sim.schedule(latency, callback, None)
             return
         self.sim.schedule(latency, self._issue, region, record, callback)
@@ -122,6 +123,7 @@ class FederatedRegistry(SpectrumRegistry):
         self._grants.setdefault(region, {})[record.ap_id] = grant
         self._region_of[record.ap_id] = region
         self.grants_issued += 1
+        self._m_grants.inc()
         callback(grant)
 
     def discover_neighbors(self, ap_id: str,
@@ -148,6 +150,7 @@ class FederatedRegistry(SpectrumRegistry):
                 if other_id != ap_id and in_contention(grant.record, me.record):
                     neighbors.append(grant.record)
         self.queries_served += 1
+        self._m_queries.inc()
         callback(neighbors)
 
     def deregister(self, ap_id: str) -> None:

@@ -32,6 +32,18 @@ class SpectrumRegistry(ABC):
         self.sim = sim
         self.grants_issued = 0
         self.queries_served = 0
+        kind = type(self).__name__
+        metrics = sim.metrics
+        self._m_grants = metrics.counter("spectrum.grants_issued",
+                                         registry=kind)
+        self._m_queries = metrics.counter("spectrum.queries_served",
+                                          registry=kind)
+        self._m_refused = metrics.counter("spectrum.grants_refused",
+                                          registry=kind)
+        self._m_expired = metrics.counter("spectrum.grants_expired",
+                                          registry=kind)
+        self._m_heartbeats = metrics.counter("spectrum.heartbeats_served",
+                                             registry=kind)
 
     @abstractmethod
     def request_grant(self, record: ApRecord, callback: GrantCallback) -> None:

@@ -88,6 +88,7 @@ class SasRegistry(SpectrumRegistry):
         for ap_id in lapsed:
             grant = self._grants.pop(ap_id)
             self.grants_expired += 1
+            self._m_expired.inc()
             self.sim.trace("spectrum", "grant expired",
                            ap=ap_id, grant=grant.grant_id)
         return len(lapsed)
@@ -141,6 +142,7 @@ class SasRegistry(SpectrumRegistry):
                 and in_contention(g.record, record))
             if contenders >= self.max_density_per_domain:
                 self.refused += 1
+                self._m_refused.inc()
                 callback(None)
                 return
         expires = (self.sim.now + self.lease_s
@@ -150,6 +152,7 @@ class SasRegistry(SpectrumRegistry):
                               expires_at=expires)
         self._grants[record.ap_id] = grant
         self.grants_issued += 1
+        self._m_grants.inc()
         callback(grant)
 
     # -- CBRS heartbeat: leases must be renewed or transmission stops ---------------
@@ -182,6 +185,7 @@ class SasRegistry(SpectrumRegistry):
             callback(None)
             return
         self.heartbeats_served += 1
+        self._m_heartbeats.inc()
         expires = (self.sim.now + self.lease_s
                    if self.lease_s is not None else None)
         renewed = SpectrumGrant(grant_id=old.grant_id, record=old.record,
@@ -203,6 +207,7 @@ class SasRegistry(SpectrumRegistry):
             callback([])
             return
         self.queries_served += 1
+        self._m_queries.inc()
         me = self._active_grant(ap_id)
         if me is None:
             callback([])

@@ -1,0 +1,142 @@
+"""Telemetry exporters: JSONL event streams, CSV/text snapshots, tables.
+
+Three consumers, three formats:
+
+* **JSONL** — one JSON object per line, for diffing runs and feeding
+  external tooling. Trace events carry ``"type": "trace"``, finished
+  spans ``"type": "span"``; both carry the source tag (``sim``) so
+  multi-simulator experiments (E16 runs two arms) stay distinguishable.
+* **CSV / metrics text** — flat snapshots of every instrument, one row
+  (or Prometheus-style line) per (name, labels). CSV for spreadsheets,
+  text for eyeballs and scrapers.
+* **terminal summary** — a :class:`ResultTable` digest per subsystem,
+  printed by the CLI after an instrumented run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.tables import ResultTable
+
+__all__ = ["tagged_rows", "write_metrics_csv", "write_metrics_text",
+           "write_events_jsonl", "summary_table", "METRICS_CSV_COLUMNS"]
+
+#: Column order of the metrics CSV snapshot.
+METRICS_CSV_COLUMNS = ["sim", "kind", "name", "labels", "value", "count",
+                       "sum", "min", "max", "mean", "p50", "p95", "p99"]
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def tagged_rows(registries: Sequence[Tuple[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten (tag, MetricsRegistry) pairs into snapshot rows.
+
+    Each row gains a ``sim`` key carrying the tag, so instruments with
+    identical names from different simulators stay separate.
+    """
+    rows: List[Dict[str, Any]] = []
+    for tag, registry in registries:
+        for row in registry.snapshot():
+            row = dict(row)
+            row["sim"] = tag
+            rows.append(row)
+    return rows
+
+
+def write_metrics_csv(rows: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write snapshot rows as CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=METRICS_CSV_COLUMNS,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            out = dict(row)
+            out["labels"] = _render_labels(row.get("labels", {}))
+            writer.writerow(out)
+            count += 1
+    return count
+
+
+def write_metrics_text(rows: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write a Prometheus-style text snapshot; returns the line count.
+
+    Counters/gauges become ``name{labels} value``; histograms expand to
+    ``_count``/``_sum`` plus ``{quantile="..."}`` series.
+    """
+    lines: List[str] = []
+    for row in rows:
+        labels = dict(row.get("labels", {}))
+        if row.get("sim"):
+            labels["sim"] = row["sim"]
+        inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        base = row["name"].replace(".", "_")
+        if row["kind"] == "histogram":
+            lines.append(f"{base}_count{{{inner}}} {row['count']}")
+            lines.append(f"{base}_sum{{{inner}}} {row['sum']:g}")
+            for q in ("p50", "p95", "p99"):
+                q_inner = inner + ("," if inner else "") + \
+                    f'quantile="0.{q[1:]}"'
+                lines.append(f"{base}{{{q_inner}}} {row[q]:g}")
+        else:
+            lines.append(f"{base}{{{inner}}} {row['value']:g}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def write_events_jsonl(path: str,
+                       tracers: Sequence[Tuple[str, Any]] = (),
+                       span_trackers: Sequence[Tuple[str, Any]] = ()) -> int:
+    """Write trace events and finished spans as JSONL; returns line count.
+
+    ``tracers``/``span_trackers`` are (tag, Tracer) / (tag, SpanTracker)
+    pairs; lines are grouped by source and time-ordered within each.
+    """
+    count = 0
+    with open(path, "w") as fh:
+        for tag, tracer in tracers:
+            for event in tracer.events():
+                record = {"type": "trace", "sim": tag,
+                          "time_s": event.time_s,
+                          "category": event.category,
+                          "message": event.message,
+                          "fields": event.fields}
+                fh.write(json.dumps(record, default=str) + "\n")
+                count += 1
+        for tag, tracker in span_trackers:
+            for span in tracker.finished:
+                record = span.to_dict()
+                record["sim"] = tag
+                fh.write(json.dumps(record, default=str) + "\n")
+                count += 1
+    return count
+
+
+def summary_table(rows: Sequence[Dict[str, Any]],
+                  title: str = "Telemetry summary") -> ResultTable:
+    """Digest snapshot rows into a per-subsystem terminal table."""
+    per: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        subsystem = row["name"].split(".", 1)[0]
+        agg = per.setdefault(subsystem, {"instruments": 0, "counter_total": 0.0,
+                                         "samples": 0})
+        agg["instruments"] += 1
+        if row["kind"] == "counter":
+            agg["counter_total"] += row["value"]
+        elif row["kind"] == "histogram":
+            agg["samples"] += row["count"]
+    table = ResultTable(title, ["subsystem", "instruments", "counter_total",
+                                "histogram_samples"])
+    for subsystem in sorted(per):
+        agg = per[subsystem]
+        table.add_row(subsystem=subsystem,
+                      instruments=int(agg["instruments"]),
+                      counter_total=agg["counter_total"],
+                      histogram_samples=int(agg["samples"]))
+    return table

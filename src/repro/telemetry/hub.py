@@ -1,0 +1,134 @@
+"""The telemetry hub: collect everything one experiment run produced.
+
+Experiments build their own simulators internally (E16 builds two, one
+per architecture arm), so the CLI cannot thread a registry through every
+``run()`` signature. Instead, every :class:`Simulator` announces itself
+to the process-wide :data:`HUB` at construction. While no run is active
+that is a single flag check; when the CLI (or a test) brackets an
+experiment with :meth:`TelemetryHub.start_run` / :meth:`finish_run`, the
+hub keeps a reference to each simulator born in between, optionally
+arms a profiler and a tracer on each, and at the end hands back one
+:class:`RunTelemetry` with every registry, span tracker, tracer, and a
+merged profile.
+
+Components that have no simulator (a :class:`Cell` driven by explicit
+TTI calls, a :class:`CsmaSimulation` slot loop) record into the
+*ambient* registry — the hub's shared registry during a run, a
+process-global default otherwise — unless handed an explicit one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.telemetry.profiler import RunProfiler
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["HUB", "TelemetryHub", "RunTelemetry", "ambient_registry"]
+
+#: Fallback registry for sim-less components outside any hub run.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+class RunTelemetry:
+    """Everything collected between start_run() and finish_run()."""
+
+    def __init__(self, registries: List[Tuple[str, MetricsRegistry]],
+                 span_trackers: List[Tuple[str, Any]],
+                 tracers: List[Tuple[str, Any]],
+                 profiler: Optional[RunProfiler]) -> None:
+        self.registries = registries
+        self.span_trackers = span_trackers
+        self.tracers = tracers
+        self.profiler = profiler
+
+    def metrics_rows(self) -> List[dict]:
+        """Tagged snapshot rows across every collected registry."""
+        from repro.telemetry.exporters import tagged_rows
+        return tagged_rows(self.registries)
+
+    def subsystems(self) -> List[str]:
+        """Distinct metric subsystems seen anywhere in the run."""
+        seen = set()
+        for _tag, registry in self.registries:
+            seen.update(registry.subsystems())
+        return sorted(seen)
+
+
+class TelemetryHub:
+    """Process-wide collection point for experiment runs."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self._profile = False
+        self._trace = False
+        self._trace_capacity = 1_000_000
+        self._sims: List[Any] = []
+        self._shared = MetricsRegistry()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The ambient registry for sim-less components during a run."""
+        return self._shared
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def start_run(self, profile: bool = False, trace: bool = False,
+                  trace_capacity: int = 1_000_000) -> None:
+        """Begin collecting; simulators built from now on are adopted."""
+        if self.active:
+            raise RuntimeError("a telemetry run is already active")
+        self.active = True
+        self._profile = profile
+        self._trace = trace
+        self._trace_capacity = trace_capacity
+        self._sims = []
+        self._shared = MetricsRegistry()
+
+    def adopt(self, sim: Any) -> None:
+        """Called by every Simulator constructor; no-op outside a run."""
+        if not self.active:
+            return
+        self._sims.append(sim)
+        if self._profile and sim.profiler is None:
+            sim.profiler = RunProfiler()
+        if self._trace and sim.tracer is None:
+            from repro.simcore.trace import Tracer
+            sim.tracer = Tracer(max_events=self._trace_capacity)
+
+    def finish_run(self) -> RunTelemetry:
+        """Stop collecting and return everything gathered."""
+        if not self.active:
+            raise RuntimeError("no telemetry run is active")
+        self.active = False
+        registries: List[Tuple[str, MetricsRegistry]] = []
+        span_trackers: List[Tuple[str, Any]] = []
+        tracers: List[Tuple[str, Any]] = []
+        profiler: Optional[RunProfiler] = \
+            RunProfiler() if self._profile else None
+        for index, sim in enumerate(self._sims):
+            tag = f"s{index}"
+            registries.append((tag, sim.telemetry.metrics))
+            span_trackers.append((tag, sim.telemetry.spans))
+            if sim.tracer is not None:
+                tracers.append((tag, sim.tracer))
+            if profiler is not None and sim.profiler is not None:
+                profiler.merge(sim.profiler)
+        if len(self._shared):
+            registries.append(("shared", self._shared))
+        self._sims = []
+        return RunTelemetry(registries, span_trackers, tracers, profiler)
+
+    def abort_run(self) -> None:
+        """Drop an active run without collecting (test cleanup)."""
+        self.active = False
+        self._sims = []
+
+
+#: The process-wide hub every Simulator announces itself to.
+HUB = TelemetryHub()
+
+
+def ambient_registry() -> MetricsRegistry:
+    """Registry for components with no simulator of their own."""
+    return HUB.registry if HUB.active else _DEFAULT_REGISTRY

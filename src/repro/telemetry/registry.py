@@ -1,0 +1,345 @@
+"""The metrics registry: named, labelled counters, gauges, histograms.
+
+Every component that wants to be observable asks its registry for an
+instrument once (at construction, so the hot path is an attribute access
+plus an integer add) and then records into it unconditionally. Recording
+is *passive*: no instrument ever draws randomness, schedules events, or
+touches the simulated clock, so instrumented and uninstrumented runs are
+bit-identical — the registry can stay enabled in benchmarks.
+
+Naming convention (see OBSERVABILITY.md): dotted lowercase paths,
+hierarchical by subsystem — ``net.link.dropped``, ``mac.csma.collisions``,
+``epc.attach.completed`` — with instance identity carried in *labels*
+(``link="air:ue3"``, ``cell="ap0-cell"``), so ``site3.mac.harq.retx``
+style questions become ``registry.query("mac.harq.*")`` filtered by
+label.
+
+Histograms keep fixed buckets (cumulative, Prometheus-style ``le``
+bounds) *and* streaming quantiles via the P² algorithm (Jain & Chlamtac,
+1985): p50/p95/p99 in O(1) memory without storing samples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "P2Quantile", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds: half-decade geometric ladder
+#: wide enough for both latencies in seconds and counts/sizes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+    1.0, 3.0, 10.0, 30.0, 100.0, 1e3, 1e4, 1e6, float("inf"))
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared identity: a dotted name plus a frozen label set."""
+
+    __slots__ = ("name", "labels")
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def full_name(self) -> str:
+        """``name{k=v,...}`` rendering used by exporters and tables."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.full_name}>"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def row(self) -> Dict[str, Any]:
+        """Snapshot row for exporters."""
+        return {"kind": self.kind, "name": self.name, "labels": self.labels,
+                "value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down; remembers its extremes."""
+
+    __slots__ = ("value", "min", "max", "updates")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+    def add(self, delta: float) -> None:
+        """Shift the current level by ``delta``."""
+        self.set(self.value + delta)
+
+    def row(self) -> Dict[str, Any]:
+        """Snapshot row for exporters."""
+        return {"kind": self.kind, "name": self.name, "labels": self.labels,
+                "value": self.value,
+                "min": self.min if self.updates else 0.0,
+                "max": self.max if self.updates else 0.0}
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
+
+    Tracks one quantile ``q`` with five markers and parabolic marker
+    adjustment — no sample storage, fully deterministic in the order of
+    observations. Exact for the first five samples.
+    """
+
+    __slots__ = ("q", "n", "_heights", "_positions", "_desired", "_incr")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self.n = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._incr = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        """Feed one sample."""
+        self.n += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # locate the cell containing x, clamping the extremes
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= heights[k + 1]:
+                k += 1
+        pos = self._positions
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        # adjust interior markers toward their desired positions
+        for i in range(1, 4):
+            d = self._desired[i] - pos[i]
+            if ((d >= 1.0 and pos[i + 1] - pos[i] > 1.0)
+                    or (d <= -1.0 and pos[i - 1] - pos[i] < -1.0)):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (p[j] - p[i])
+
+    @property
+    def estimate(self) -> float:
+        """Current quantile estimate (nan before any sample)."""
+        if not self._heights:
+            return float("nan")
+        if len(self._heights) < 5:
+            # exact small-sample quantile (nearest-rank interpolation)
+            idx = self.q * (len(self._heights) - 1)
+            lo = int(idx)
+            hi = min(lo + 1, len(self._heights) - 1)
+            frac = idx - lo
+            return self._heights[lo] * (1 - frac) + self._heights[hi] * frac
+        return self._heights[2]
+
+
+class Histogram(_Instrument):
+    """Fixed cumulative buckets plus streaming p50/p95/p99."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
+                 "_quantiles")
+    kind = "histogram"
+
+    QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: buckets must be sorted")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._quantiles = tuple(P2Quantile(q) for q in self.QUANTILES)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        for q in self._quantiles:
+            q.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (nan when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Streaming estimate for one of the tracked quantiles."""
+        for tracker in self._quantiles:
+            if tracker.q == q:
+                return tracker.estimate
+        raise KeyError(f"quantile {q} not tracked (have {self.QUANTILES})")
+
+    def row(self) -> Dict[str, Any]:
+        """Snapshot row for exporters."""
+        empty = self.count == 0
+        return {"kind": self.kind, "name": self.name, "labels": self.labels,
+                "count": self.count, "sum": self.sum,
+                "min": 0.0 if empty else self.min,
+                "max": 0.0 if empty else self.max,
+                "mean": 0.0 if empty else self.mean,
+                "p50": 0.0 if empty else self.quantile(0.5),
+                "p95": 0.0 if empty else self.quantile(0.95),
+                "p99": 0.0 if empty else self.quantile(0.99)}
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, keyed by (name, labels).
+
+    Asking twice for the same (name, labels) returns the same object;
+    asking for an existing name with a different *kind* raises, which
+    catches name collisions between subsystems early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                                _Instrument] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], **kwargs):
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, dict(key[1]), **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"{name} already registered as {instrument.kind}, "
+                f"not {cls.kind}")
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        """Get or create a histogram (``buckets`` only applies on create)."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterable[_Instrument]:
+        return iter(sorted(self._instruments.values(),
+                           key=lambda i: (i.name, sorted(i.labels.items()))))
+
+    def query(self, pattern: str) -> List[_Instrument]:
+        """Instruments whose name matches a dotted prefix pattern.
+
+        ``"mac.csma.*"`` (or ``"mac.csma"``) matches everything under
+        that path; an exact name matches just that instrument family.
+        """
+        prefix = pattern[:-2] if pattern.endswith(".*") else pattern
+        return [i for i in self
+                if i.name == prefix or i.name.startswith(prefix + ".")]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Counter/gauge value for an exact (name, labels); 0 if absent."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family's values across all label sets."""
+        return sum(i.value for i in self
+                   if i.name == name and isinstance(i, Counter))
+
+    def subsystems(self) -> List[str]:
+        """Distinct first name components with at least one instrument."""
+        return sorted({i.name.split(".", 1)[0] for i in self})
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """All instruments as exporter rows, deterministically ordered."""
+        return [i.row() for i in self]
+
+    def clear(self) -> None:
+        """Forget every instrument (tests only; cached refs go stale)."""
+        self._instruments.clear()

@@ -1,5 +1,9 @@
 """Tests for the ``python -m repro`` experiment runner."""
 
+import csv
+import json
+import re
+
 import pytest
 
 from repro.__main__ import main
@@ -34,3 +38,81 @@ def test_unknown_id_errors(capsys):
 def test_no_args_prints_help(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out.lower()
+
+
+# -- telemetry flags --------------------------------------------------------
+
+
+def _strip_wall_times(text):
+    """Normalize the only nondeterministic output: wall-clock stamps."""
+    return re.sub(r"done in [0-9.]+ s", "done in X s", text)
+
+
+def test_metrics_out_csv_well_formed(tmp_path, capsys):
+    path = tmp_path / "metrics.csv"
+    assert main(["E16", "--metrics-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry summary" in out
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows, "metrics snapshot must not be empty"
+    assert set(rows[0]) >= {"sim", "kind", "name", "labels", "value"}
+    kinds = {row["kind"] for row in rows}
+    assert kinds <= {"counter", "gauge", "histogram"}
+    names = {row["name"] for row in rows}
+    subsystems = {name.split(".")[0] for name in names}
+    assert len(subsystems) >= 6  # acceptance: >= 6 instrumented subsystems
+    for row in rows:
+        if row["kind"] == "histogram":  # histograms use count/sum instead
+            assert float(row["count"]) >= 0 and row["value"] == ""
+        else:
+            float(row["value"])
+
+
+def test_metrics_out_text_format(tmp_path, capsys):
+    path = tmp_path / "metrics.txt"
+    assert main(["E16", "--metrics-out", str(path)]) == 0
+    text = path.read_text()
+    assert re.search(r'^epc_attach_completed\{.*\} \d', text, re.M)
+    assert re.search(r'_count\{.*\} \d', text)  # histogram series
+    assert 'quantile="0.95"' in text
+
+
+def test_trace_out_jsonl_well_formed(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    assert main(["E16", "--trace-out", str(path)]) == 0
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records
+    assert {record["type"] for record in records} <= {"trace", "span"}
+    spans = [r for r in records if r["type"] == "span"]
+    assert any(s["name"] == "nas.attach" for s in spans)
+    for span in spans:
+        assert span["end_s"] >= span["start_s"]
+
+
+def test_profile_reports_hot_paths(capsys):
+    assert main(["E16", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+    assert "callback_site" in out  # hot-path table header
+    assert "us_per_call" in out
+
+
+def test_multi_experiment_suffixes_artifacts(tmp_path, capsys):
+    path = tmp_path / "m.csv"
+    assert main(["E12", "E13", "--metrics-out", str(path)]) == 0
+    assert (tmp_path / "m-E12.csv").exists()
+    assert (tmp_path / "m-E13.csv").exists()
+    assert not path.exists()
+
+
+def test_telemetry_off_output_unchanged(tmp_path, capsys):
+    """Collecting metrics must not change the experiment tables."""
+    assert main(["E16"]) == 0
+    plain = _strip_wall_times(capsys.readouterr().out)
+    assert main(["E16", "--metrics-out", str(tmp_path / "m.csv")]) == 0
+    collected = _strip_wall_times(capsys.readouterr().out)
+    # the telemetry-on output is the plain output plus appended
+    # telemetry sections before the closing "done in" line
+    plain_table = plain.split("[E16 done")[0]
+    assert collected.startswith(plain_table)

@@ -77,6 +77,102 @@ def test_event_is_frozen():
         event.time_s = 2.0
 
 
+def test_eviction_exactly_at_capacity():
+    """The ring buffer holds exactly max_events before evicting."""
+    tracer = Tracer(max_events=5)
+    for i in range(5):
+        tracer.record(float(i), "x", f"event{i}")
+    assert len(tracer) == 5
+    assert tracer.events()[0].time_s == 0.0  # nothing evicted yet
+    tracer.record(5.0, "x", "event5")        # one past capacity
+    assert len(tracer) == 5
+    assert tracer.events()[0].time_s == 1.0  # exactly the oldest dropped
+    assert tracer.recorded == 6
+
+
+def test_time_window_boundaries_inclusive():
+    """since/until are closed bounds; events at the edges are included."""
+    tracer = Tracer()
+    for t in (1.0, 2.0, 3.0):
+        tracer.record(t, "x", "tick")
+    assert [e.time_s for e in tracer.events(since_s=2.0)] == [2.0, 3.0]
+    assert [e.time_s for e in tracer.events(until_s=2.0)] == [1.0, 2.0]
+    assert [e.time_s
+            for e in tracer.events(since_s=2.0, until_s=2.0)] == [2.0]
+    assert tracer.events(since_s=3.0, until_s=1.0) == []
+
+
+def test_filtered_counter_tracks_every_rejection():
+    tracer = Tracer(categories=["keep"])
+    for i in range(7):
+        tracer.record(float(i), "drop", "no")
+    tracer.record(7.0, "keep", "yes")
+    assert tracer.filtered == 7
+    assert tracer.recorded == 1
+
+
+def test_clear_keeps_filter_counters():
+    tracer = Tracer(categories=["keep"])
+    tracer.record(0.0, "keep", "a")
+    tracer.record(0.0, "drop", "b")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.recorded == 1 and tracer.filtered == 1
+    tracer.record(1.0, "drop", "c")  # the filter itself survives clear()
+    assert tracer.filtered == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.record(1.0, "attach", "session created", ue="ue3", n=2)
+    tracer.record(2.5, "drop", "link x: overflow")
+    path = str(tmp_path / "trace.jsonl")
+    assert tracer.to_jsonl(path) == 2
+    reloaded = Tracer.from_jsonl(path)
+    assert len(reloaded) == 2
+    original, loaded = tracer.events(), reloaded.events()
+    for before, after in zip(original, loaded):
+        assert after.time_s == before.time_s
+        assert after.category == before.category
+        assert after.message == before.message
+    assert loaded[0].fields == {"ue": "ue3", "n": 2}
+
+
+def test_jsonl_reload_applies_category_filter(tmp_path):
+    tracer = Tracer()
+    tracer.record(1.0, "keep", "a")
+    tracer.record(2.0, "drop", "b")
+    path = str(tmp_path / "trace.jsonl")
+    tracer.to_jsonl(path)
+    narrowed = Tracer.from_jsonl(path, categories=["keep"])
+    assert narrowed.count() == 1
+    assert narrowed.filtered == 1
+
+
+def test_jsonl_skips_non_trace_lines(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    path.write_text(
+        '{"type": "span", "name": "epc.attach"}\n'
+        '\n'
+        '{"type": "trace", "time_s": 1.0, "category": "c", "message": "m"}\n')
+    reloaded = Tracer.from_jsonl(str(path))
+    assert len(reloaded) == 1
+    assert reloaded.events()[0].category == "c"
+
+
+def test_jsonl_stringifies_non_json_fields(tmp_path):
+    class Opaque:
+        def __str__(self):
+            return "opaque-thing"
+
+    tracer = Tracer()
+    tracer.record(0.0, "x", "m", obj=Opaque())
+    path = str(tmp_path / "trace.jsonl")
+    tracer.to_jsonl(path)
+    reloaded = Tracer.from_jsonl(path)
+    assert reloaded.events()[0].fields == {"obj": "opaque-thing"}
+
+
 def test_network_run_emits_protocol_traces():
     """The instrumented points fire during a real network run."""
     town = RuralTown(radius_m=1500, n_ues=4, n_aps=2, seed=2)
