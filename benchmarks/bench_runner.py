@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Macro benchmark harness: time representative experiments, track them.
+
+Times a fixed set of experiment workloads (in-process, best-of-N) and
+writes ``BENCH_<date>.json``. A committed baseline plus ``--check``
+turns the harness into a CI regression gate: any tracked workload more
+than ``--threshold`` (default 25%) slower than baseline fails the run.
+
+Cross-machine comparability: every run first times a fixed pure-Python
+calibration kernel (event scheduling through the simulator, the same
+dispatch loop the experiments exercise). Tracked comparisons use each
+workload's wall time *normalized by the calibration time*, so a slower
+CI runner shifts both numbers together and only real per-workload
+regressions trip the gate.
+
+Usage::
+
+    python benchmarks/bench_runner.py --quick            # CI set
+    python benchmarks/bench_runner.py                    # full set
+    python benchmarks/bench_runner.py --jobs 4           # adds the
+        parallel suite: --all-style multi-experiment run at N workers
+        vs serial, reporting the speedup
+    python benchmarks/bench_runner.py --quick --check \
+        --baseline benchmarks/BENCH_2026-08-06.json      # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import ALL_EXPERIMENTS  # noqa: E402
+from repro.runner import derive_seed, set_jobs  # noqa: E402
+
+#: Root seed for the harness; per-spec seeds are derived from it, so a
+#: spec's workload never depends on which other specs ran before it.
+BENCH_ROOT_SEED = 2026
+
+
+@dataclass
+class Spec:
+    """One tracked workload: an experiment entry point plus arguments."""
+
+    name: str
+    exp_id: str
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    repeats: int = 3
+    quick: bool = True
+    seeded: bool = False  # pass a derived per-spec seed= kwarg
+
+    def build_call(self) -> Callable[[], object]:
+        module = ALL_EXPERIMENTS[self.exp_id]
+        kwargs = dict(self.kwargs)
+        if self.seeded:
+            kwargs["seed"] = derive_seed(BENCH_ROOT_SEED, self.name)
+        return lambda: module.run(**kwargs)
+
+
+#: The tracked set. Quick specs are the CI gate (kept under ~30 s serial
+#: on the reference box); the full set adds the heavier sweeps.
+SPECS: List[Spec] = [
+    Spec("T1", "T1", repeats=5),
+    Spec("F1", "F1", repeats=3),
+    Spec("E3-range", "E3", repeats=5),
+    Spec("E4-weak-signal", "E4", repeats=5),
+    Spec("E7-small", "E7", {"ap_counts": [1, 8, 32]}, repeats=3,
+         seeded=True),
+    Spec("E13-paging", "E13", repeats=3, seeded=True),
+    Spec("E16-small", "E16", {"n_aps": 3, "n_ues": 8}, repeats=5,
+         seeded=True),
+    # full set only: the heavy sweeps the --jobs work targets
+    Spec("E5-coordination", "E5", repeats=2, quick=False, seeded=True),
+    Spec("E6-small", "E6", {"dwells_s": [3.0, 1.0]}, repeats=1,
+         quick=False, seeded=True),
+    Spec("E7-full", "E7", repeats=1, quick=False, seeded=True),
+    Spec("E8-hidden-terminal", "E8", repeats=1, quick=False),
+    Spec("E9-x2", "E9", repeats=2, quick=False),
+]
+
+#: Multi-experiment suite used for the parallel speedup measurement
+#: (everything fast enough to repeat, plus the cell-parallel E7).
+PARALLEL_SUITE = ["T1", "F1", "E3", "E4", "E7", "E9", "E13", "E16"]
+
+
+def _calibrate() -> float:
+    """Time the fixed calibration kernel: 50k events through the
+    simulator dispatch loop (pure Python, no numpy, no I/O)."""
+    from repro.simcore import Simulator
+
+    best = float("inf")
+    for _ in range(3):
+        sim = Simulator(0)
+        for i in range(50_000):
+            sim.schedule(i * 1e-6, _nop)
+        start = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _nop() -> None:
+    return None
+
+
+def _time_call(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time; best-of suppresses scheduler noise."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_suite(ids: List[str], jobs: int) -> float:
+    """Wall-clock one CLI-equivalent multi-experiment pass at ``jobs``."""
+    import contextlib
+    import io
+
+    from repro.__main__ import _run_all_parallel, run_experiment
+
+    set_jobs(jobs)
+    try:
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(io.StringIO()):
+            if jobs > 1:
+                _run_all_parallel(ids, jobs, None, None, False)
+            else:
+                for exp_id in ids:
+                    run_experiment(exp_id, multi=True)
+        return time.perf_counter() - start
+    finally:
+        set_jobs(1)
+
+
+def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
+    specs = [s for s in SPECS if s.quick or not quick]
+    print("calibrating dispatch kernel ...", flush=True)
+    calibration_s = _calibrate()
+    print(f"  calibration: {calibration_s * 1e3:.1f} ms / 50k events")
+    results: Dict[str, Dict[str, float]] = {}
+    for spec in specs:
+        wall = _time_call(spec.build_call(), spec.repeats)
+        results[spec.name] = {
+            "wall_s": round(wall, 4),
+            "normalized": round(wall / calibration_s, 3),
+        }
+        print(f"  {spec.name:<20} {wall:8.3f} s   "
+              f"({wall / calibration_s:8.2f}x cal)")
+    report: Dict[str, object] = {
+        "date": time.strftime("%Y-%m-%d"),
+        "quick": quick,
+        "cpus": os.cpu_count(),
+        "calibration_s": round(calibration_s, 4),
+        "results": results,
+    }
+    if jobs > 1:
+        serial_s = _run_suite(PARALLEL_SUITE, 1)
+        parallel_s = _run_suite(PARALLEL_SUITE, jobs)
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("nan")
+        report["parallel"] = {
+            "suite": PARALLEL_SUITE,
+            "jobs": jobs,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(speedup, 2),
+        }
+        print(f"  parallel suite       {serial_s:8.3f} s serial vs "
+              f"{parallel_s:.3f} s at --jobs {jobs} "
+              f"({speedup:.2f}x)")
+    return report
+
+
+def check_regressions(report: Dict[str, object], baseline_path: str,
+                      threshold: float) -> List[str]:
+    """Names of tracked workloads slower than baseline by > threshold.
+
+    Comparisons use calibration-normalized times; workloads present in
+    only one of the two reports are skipped (new or retired specs do
+    not fail the gate).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name, current in report["results"].items():
+        ref = baseline.get("results", {}).get(name)
+        if ref is None:
+            continue
+        if ref["normalized"] < 0.05 and current["normalized"] < 0.05:
+            # too fast to time meaningfully on either box — tracked for
+            # visibility, exempt from the gate
+            print(f"  {name:<20} (sub-threshold, skipped)")
+            continue
+        ratio = current["normalized"] / max(ref["normalized"], 0.05)
+        flag = "REGRESSION" if ratio > 1.0 + threshold else "ok"
+        print(f"  {name:<20} {ref['normalized']:8.2f} -> "
+              f"{current['normalized']:8.2f}  ({ratio:5.2f}x)  {flag}")
+        if ratio > 1.0 + threshold:
+            failures.append(name)
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI set only (sub-second to few-second specs)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="also measure the multi-experiment suite at "
+                             "N workers vs serial")
+    parser.add_argument("--out", metavar="PATH",
+                        help="output path (default benchmarks/"
+                             "BENCH_<date>.json)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline BENCH_*.json to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if any tracked workload "
+                             "regresses past --threshold vs --baseline")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed normalized slowdown (default 0.25)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    out = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        f"BENCH_{report['date']}.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.baseline:
+        print(f"comparing against {args.baseline} "
+              f"(threshold {args.threshold:.0%}):")
+        failures = check_regressions(report, args.baseline, args.threshold)
+        if args.check and failures:
+            print(f"FAILED: regressions in {', '.join(failures)}")
+            return 1
+        if not failures:
+            print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

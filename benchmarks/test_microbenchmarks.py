@@ -13,6 +13,7 @@ from repro.mac.csma import CsmaNode, CsmaSimulation
 from repro.mac.schedulers import ProportionalFairScheduler, SchedulableUser
 from repro.metrics.stats import summarize
 from repro.phy import LinkBudget, OkumuraHata, Radio, get_band
+from repro.phy.propagation import cached_path_loss, model_for_frequency
 from repro.simcore import Simulator
 from repro.telemetry import MetricsRegistry
 
@@ -101,6 +102,66 @@ def test_summarize_ndarray_fast_path(benchmark):
     summary = benchmark(summarize, samples)
     assert summary["count"] == 100_000
     assert summary["median"] <= summary["p95"]
+
+
+def test_path_loss_vectorized_vs_scalar(benchmark):
+    """The E3/E4 grid fast path: one ``path_loss_db_many`` call over a
+    4k-point distance grid, checked against the scalar model per point
+    (the fast path must agree to well under 1e-9 dB)."""
+    freq = 881.5
+    model = model_for_frequency(freq)
+    distances = np.linspace(50.0, 30_000.0, 4096)
+
+    losses = benchmark(model.path_loss_db_many, distances, freq)
+    scalar = [model.path_loss_db(float(d), freq) for d in distances]
+    assert np.max(np.abs(losses - np.asarray(scalar))) < 1e-9
+
+
+def test_cached_path_loss_lookup_rate(benchmark):
+    """The stationary-link fast path: the memoized per-(model, freq)
+    loss closure on a small recurring distance set — the per-TTI pattern
+    every cell produces — must match the uncached model exactly."""
+    freq = 881.5
+    model = model_for_frequency(freq)
+    lookup = cached_path_loss(model, freq)
+    distances = [float(d) for d in np.linspace(100.0, 3000.0, 32)]
+
+    def hot_loop():
+        total = 0.0
+        for _ in range(1000):
+            for d in distances:
+                total += lookup(d)
+        return total
+
+    total = benchmark(hot_loop)
+    expected = 1000 * sum(model.path_loss_db(d, freq) for d in distances)
+    assert abs(total - expected) < 1e-9 * expected
+    for d in distances:
+        assert abs(lookup(d) - model.path_loss_db(d, freq)) < 1e-9
+
+
+def test_link_budget_cached_snr(benchmark):
+    """LinkBudget's distance memo + cached noise floor: repeated SNR
+    evaluations of a stationary link collapse to dict hits, and agree
+    with a fresh (cold-cache) budget to 1e-9 dB."""
+    band = get_band("lte5")
+    model = OkumuraHata(environment="open")
+    budget = LinkBudget(model, band.dl_mhz, band.bandwidth_hz)
+    ap = Radio(Point(0, 0), tx_power_dbm=43, antenna_gain_dbi=15,
+               height_m=30.0)
+    ues = [Radio(Point(100.0 * (i + 1), 0), tx_power_dbm=23) for i in range(16)]
+
+    def hot_loop():
+        total = 0.0
+        for _ in range(1000):
+            for ue in ues:
+                total += budget.snr_db(ap, ue)
+        return total
+
+    total = benchmark(hot_loop)
+    cold = LinkBudget(model, band.dl_mhz, band.bandwidth_hz)
+    expected = 1000 * sum(cold.snr_db(ap, ue) for ue in ues)
+    assert abs(total - expected) < 1e-9 * abs(expected)
 
 
 def test_metrics_hot_path_rate(benchmark):

@@ -7,7 +7,8 @@ Examples::
 
     python -m repro T1 E3 E12      # quick ones
     python -m repro --list
-    python -m repro --all          # everything (several minutes: E6/E7)
+    python -m repro --all          # everything (minutes: E6 dominates)
+    python -m repro --all --jobs 4 # same tables, fanned over 4 workers
 
 Telemetry (see OBSERVABILITY.md)::
 
@@ -17,11 +18,20 @@ Telemetry (see OBSERVABILITY.md)::
 
 With none of these flags, experiments run exactly as before —
 telemetry recording is passive and results stay byte-identical.
+
+Parallelism (``--jobs N``) operates at two levels, both deterministic:
+sweep-heavy experiments (E6, E7) fan their independent cells over
+workers and run in the parent process; everything else is fanned out
+whole, one experiment per worker, with captured output reprinted in id
+order. Tables are byte-identical to ``--jobs 1`` — only the wall-clock
+lines differ.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import os
 import sys
 import time
@@ -29,6 +39,7 @@ from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.metrics.tables import ResultTable
+from repro.runner import parallel_map, set_jobs
 from repro.telemetry.hub import HUB
 from repro.telemetry.exporters import (
     summary_table,
@@ -120,6 +131,53 @@ def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
     print()
 
 
+#: Experiments whose run() fans its own sweep cells over the worker
+#: pool; they run in the parent so the whole pool serves their cells.
+CELL_PARALLEL_IDS = ("E6", "E7")
+
+#: Rough serial seconds per experiment (measured on the reference box);
+#: only the ordering matters — longest-first submission of the fan-out.
+_COST_HINTS = {"E8": 7.0, "E9": 2.5, "E5": 2.0, "F1": 0.6, "E16": 0.1}
+
+
+def _run_captured(task) -> str:
+    """Worker body for experiment-level fan-out: run one experiment with
+    stdout captured, so the parent can reprint outputs in id order."""
+    exp_id, metrics_out, trace_out, profile, multi = task
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        run_experiment(exp_id, metrics_out=metrics_out,
+                       trace_out=trace_out, profile=profile, multi=multi)
+    return buf.getvalue()
+
+
+def _run_all_parallel(ids: List[str], jobs: int,
+                      metrics_out: Optional[str], trace_out: Optional[str],
+                      profile: bool) -> None:
+    """Two-phase parallel schedule over ``ids`` (see module docstring).
+
+    Cell-parallel experiments run in the parent first, their sweeps
+    spread over the pool; the rest are then fanned out whole. All output
+    is buffered and reprinted in the original id order, so apart from
+    timing lines the stream matches a serial run.
+    """
+    multi = len(ids) > 1
+    outputs = {}
+    for exp_id in [i for i in ids if i in CELL_PARALLEL_IDS]:
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            run_experiment(exp_id, metrics_out=metrics_out,
+                           trace_out=trace_out, profile=profile, multi=multi)
+        outputs[exp_id] = buf.getvalue()
+    rest = [i for i in ids if i not in CELL_PARALLEL_IDS]
+    tasks = [(i, metrics_out, trace_out, profile, multi) for i in rest]
+    texts = parallel_map(_run_captured, tasks, jobs=jobs,
+                         costs=[_COST_HINTS.get(i, 1.0) for i in rest])
+    outputs.update(zip(rest, texts))
+    for exp_id in ids:
+        sys.stdout.write(outputs[exp_id])
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,7 +198,14 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="time every event callback; print events/sec "
                              "and the top-10 hot paths")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan experiments and sweep cells over N "
+                             "worker processes (default 1 = serial; "
+                             "tables are byte-identical either way)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    set_jobs(args.jobs)
 
     if args.list:
         for exp_id, module in ALL_EXPERIMENTS.items():
@@ -157,6 +222,10 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown experiment ids: {unknown}; "
               f"choices: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if args.jobs > 1 and len(ids) > 1:
+        _run_all_parallel(ids, args.jobs, args.metrics_out,
+                          args.trace_out, args.profile)
+        return 0
     for exp_id in ids:
         run_experiment(exp_id, metrics_out=args.metrics_out,
                        trace_out=args.trace_out, profile=args.profile,

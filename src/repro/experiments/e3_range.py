@@ -9,6 +9,7 @@ paper's claim is the ordering: band 31 ≥ band 5 ≫ mid-band LTE ≫ WiFi.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.geo.points import Point
@@ -38,52 +39,70 @@ def _rate_bps(band: Band, is_lte: bool, snr_db: float) -> float:
     return wifi_rate_for_snr(snr_db, band.bandwidth_hz)
 
 
+def _band_setup(key: str, tx_dbm: float,
+                gain_dbi: float) -> Tuple[Band, LinkBudget, Radio, Radio]:
+    """One band's geometry: budget, AP radio, and the swept-UE template."""
+    band = get_band(key)
+    budget = LinkBudget(model_for_frequency(band.dl_mhz),
+                        band.dl_mhz, band.bandwidth_hz)
+    ap = Radio(Point(0, 0), tx_power_dbm=tx_dbm, antenna_gain_dbi=gain_dbi,
+               height_m=30.0)
+    ue = Radio(Point(0, 0), tx_power_dbm=23, height_m=1.5)
+    return band, budget, ap, ue
+
+
 def run(distances_m: Optional[List[float]] = None) -> ResultTable:
-    """Downlink rate vs distance per band; 0 after the MAC range limit."""
+    """Downlink rate vs distance per band; 0 after the MAC range limit.
+
+    The whole distance grid is one vectorized link-budget evaluation per
+    band (:meth:`LinkBudget.snr_db_grid`) instead of a per-point scalar
+    loop — the PHY fast path the microbenchmarks pin to the scalar model.
+    """
     distances = distances_m or DISTANCES_M
     table = ResultTable(
         "E3: downlink rate (Mbps) vs distance per band",
         ["band", "freq_mhz", "mac_limit_km"] +
         [f"d{int(d)}m" for d in distances])
     for key, is_lte, tx_dbm, gain in BAND_SETUPS:
-        band = get_band(key)
-        budget = LinkBudget(model_for_frequency(band.dl_mhz),
-                            band.dl_mhz, band.bandwidth_hz)
-        ap = Radio(Point(0, 0), tx_power_dbm=tx_dbm, antenna_gain_dbi=gain,
-                   height_m=30.0)
+        band, budget, ap, ue = _band_setup(key, tx_dbm, gain)
+        snrs = budget.snr_db_grid(ap, ue, distances)
         mac_limit = max_range_supported_m("lte" if is_lte else "wifi")
         row: Dict[str, object] = {
             "band": key, "freq_mhz": band.dl_mhz,
             "mac_limit_km": mac_limit / 1000.0}
-        for d in distances:
-            ue = Radio(Point(d, 0), tx_power_dbm=23, height_m=1.5)
-            rate = 0.0
-            if d <= mac_limit:
-                snr = budget.snr_db(ap, ue)
-                rate = _rate_bps(band, is_lte, snr)
+        for d, snr in zip(distances, snrs):
+            rate = _rate_bps(band, is_lte, float(snr)) if d <= mac_limit else 0.0
             row[f"d{int(d)}m"] = rate / 1e6
         table.add_row(**row)
     return table
 
 
-def max_usable_range(key: str, is_lte: bool, tx_dbm: float,
-                     gain_dbi: float) -> float:
-    """Bisect the edge: min(link-budget range, MAC timing range)."""
-    band = get_band(key)
-    budget = LinkBudget(model_for_frequency(band.dl_mhz),
-                        band.dl_mhz, band.bandwidth_hz)
-    ap = Radio(Point(0, 0), tx_power_dbm=tx_dbm, antenna_gain_dbi=gain_dbi,
-               height_m=30.0)
-    mac_limit = max_range_supported_m("lte" if is_lte else "wifi")
+@lru_cache(maxsize=64)
+def _link_range_m(key: str, is_lte: bool, tx_dbm: float,
+                  gain_dbi: float) -> float:
+    """Bisect the pure link-budget range (no MAC limit), memoized.
+
+    Both the headline and the summary table need this number; the cache
+    (plus the budget's distance memo underneath) makes the second ask
+    free instead of re-running the 60-step bisection.
+    """
+    band, budget, ap, ue = _band_setup(key, tx_dbm, gain_dbi)
     lo, hi = 50.0, 150_000.0
     for _ in range(60):
         mid = (lo + hi) / 2
-        ue = Radio(Point(mid, 0), tx_power_dbm=23, height_m=1.5)
-        if _rate_bps(band, is_lte, budget.snr_db(ap, ue)) > 0:
+        snr = float(budget.snr_db_grid(ap, ue, [mid])[0])
+        if _rate_bps(band, is_lte, snr) > 0:
             lo = mid
         else:
             hi = mid
-    return min(lo, mac_limit)
+    return lo
+
+
+def max_usable_range(key: str, is_lte: bool, tx_dbm: float,
+                     gain_dbi: float) -> float:
+    """Bisect the edge: min(link-budget range, MAC timing range)."""
+    mac_limit = max_range_supported_m("lte" if is_lte else "wifi")
+    return min(_link_range_m(key, is_lte, tx_dbm, gain_dbi), mac_limit)
 
 
 def range_summary() -> ResultTable:
@@ -95,23 +114,10 @@ def range_summary() -> ResultTable:
     import math
 
     for key, is_lte, tx_dbm, gain in BAND_SETUPS:
+        link_range = _link_range_m(key, is_lte, tx_dbm, gain)
         usable = max_usable_range(key, is_lte, tx_dbm, gain)
         mac_limit = max_range_supported_m("lte" if is_lte else "wifi")
-        # recompute the raw link range for the table
-        band = get_band(key)
-        budget = LinkBudget(model_for_frequency(band.dl_mhz),
-                            band.dl_mhz, band.bandwidth_hz)
-        ap = Radio(Point(0, 0), tx_power_dbm=tx_dbm,
-                   antenna_gain_dbi=gain, height_m=30.0)
-        lo, hi = 50.0, 150_000.0
-        for _ in range(60):
-            mid = (lo + hi) / 2
-            ue = Radio(Point(mid, 0), tx_power_dbm=23, height_m=1.5)
-            if _rate_bps(band, is_lte, budget.snr_db(ap, ue)) > 0:
-                lo = mid
-            else:
-                hi = mid
-        table.add_row(band=key, link_range_km=lo / 1000.0,
+        table.add_row(band=key, link_range_km=link_range / 1000.0,
                       mac_limit_km=mac_limit / 1000.0,
                       usable_km=usable / 1000.0,
                       area_km2=math.pi * (usable / 1000.0) ** 2)

@@ -10,13 +10,22 @@ as an ``ul_papr_advantage_db`` credit on LTE client radios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geo.points import Point
 from repro.phy.fading import ShadowingField
 from repro.phy.propagation import PropagationModel
 from repro.phy.units import db_to_linear, linear_to_db, thermal_noise_dbm
+
+
+@lru_cache(maxsize=512)
+def _thermal_noise_cached(bandwidth_hz: float, noise_figure_db: float) -> float:
+    """Noise floors recur per (bandwidth, NF): skip the log10 on repeats."""
+    return thermal_noise_dbm(bandwidth_hz, noise_figure_db)
 
 
 @dataclass
@@ -109,19 +118,64 @@ class LinkBudget:
     bandwidth_hz: float
     shadowing: Optional[ShadowingField] = None
     interferers: Tuple[Radio, ...] = field(default_factory=tuple)
+    #: median-loss memo keyed by distance — propagation models are pure,
+    #: and stationary links re-evaluate the same distances every TTI
+    _loss_cache: Dict[float, float] = field(default_factory=dict, repr=False,
+                                            compare=False)
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Median (pre-shadowing) loss at ``distance_m``, memoized."""
+        loss = self._loss_cache.get(distance_m)
+        if loss is None:
+            loss = self.model.path_loss_db(distance_m, self.freq_mhz)
+            self._loss_cache[distance_m] = loss
+        return loss
 
     def rx_power_dbm(self, tx: Radio, rx: Radio) -> float:
         """Received power from ``tx`` at ``rx``."""
-        return received_power_dbm(tx, rx, self.model, self.freq_mhz,
-                                  self.shadowing)
+        dist = tx.position.distance_to(rx.position)
+        loss = self.path_loss_db(dist)
+        if self.shadowing is not None:
+            loss += self.shadowing.shadowing_db(tx.position, rx.position)
+        tx_eirp = (tx.tx_power_dbm + tx.ul_papr_advantage_db
+                   + tx.gain_toward_dbi(rx.position) - tx.cable_loss_db)
+        return (tx_eirp - loss + rx.gain_toward_dbi(tx.position)
+                - rx.cable_loss_db)
 
     def noise_dbm(self, rx: Radio) -> float:
         """Noise floor at ``rx`` over the configured bandwidth."""
-        return thermal_noise_dbm(self.bandwidth_hz, rx.noise_figure_db)
+        return _thermal_noise_cached(self.bandwidth_hz, rx.noise_figure_db)
 
     def snr_db(self, tx: Radio, rx: Radio) -> float:
         """Signal-to-noise ratio (no interference term)."""
         return self.rx_power_dbm(tx, rx) - self.noise_dbm(rx)
+
+    def snr_db_grid(self, tx: Radio, rx_template: Radio,
+                    distances_m: Sequence[float]) -> np.ndarray:
+        """Vectorized SNR over a boresight distance grid.
+
+        The receiver described by ``rx_template`` is swept along +x from
+        the transmitter; when both ends are omnidirectional and there is
+        no shadowing, the whole grid collapses to one vectorized
+        path-loss evaluation (E3's sweep and bisections). Directional or
+        shadowed geometries fall back to the exact scalar path per point.
+        """
+        if (tx.antenna is None and rx_template.antenna is None
+                and self.shadowing is None):
+            losses = self.model.path_loss_db_many(distances_m, self.freq_mhz)
+            tx_eirp = (tx.tx_power_dbm + tx.ul_papr_advantage_db
+                       + tx.antenna_gain_dbi - tx.cable_loss_db)
+            fixed = (tx_eirp + rx_template.antenna_gain_dbi
+                     - rx_template.cable_loss_db
+                     - self.noise_dbm(rx_template))
+            return fixed - losses
+        out = []
+        for d in distances_m:
+            rx = replace(rx_template,
+                         position=Point(tx.position.x + float(d),
+                                        tx.position.y))
+            out.append(self.snr_db(tx, rx))
+        return np.array(out)
 
     def sinr_db(self, tx: Radio, rx: Radio,
                 interferers: Optional[Iterable[Radio]] = None) -> float:

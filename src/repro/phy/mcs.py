@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional
 
 
@@ -82,11 +83,19 @@ def _select(table: List[McsEntry], thresholds: List[float],
     return table[idx]
 
 
+# The selection itself is a bisect, but it sits on the per-TTI hot path
+# (every scheduled UE, every TTI, usually at a small set of stationary
+# SINRs), so an LRU in front turns the common case into one dict hit.
+# Entries are immutable module-level rows — caching returns the same
+# objects the uncached path would.
+
+@lru_cache(maxsize=4096)
 def select_lte_cqi(sinr_db: float) -> Optional[McsEntry]:
     """Highest LTE CQI whose threshold is met, or None below CQI 1."""
     return _select(LTE_CQI_TABLE, _LTE_THRESHOLDS, sinr_db)
 
 
+@lru_cache(maxsize=4096)
 def select_wifi_mcs(snr_db: float) -> Optional[McsEntry]:
     """Highest WiFi MCS whose threshold is met, or None below MCS 0."""
     return _select(WIFI_MCS_TABLE, _WIFI_THRESHOLDS, snr_db)

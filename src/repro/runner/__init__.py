@@ -1,0 +1,42 @@
+"""The parallel experiment runner: fan independent work over processes.
+
+Experiments are sweeps of independent cells — E6 runs (arm, dwell)
+cells, E7 runs (architecture, n_aps) cells — and the CLI runs whole
+experiments back to back. Both levels are embarrassingly parallel as
+long as every task derives its randomness from the task *key* rather
+than from execution order, which this package enforces:
+
+* :func:`derive_seed` — a stable seed from (root seed, task key), the
+  per-task analogue of :meth:`repro.simcore.rng.RngRegistry.stream`'s
+  name hashing: same key, same seed, in any process and any order.
+* :func:`parallel_map` — ordered map over ``multiprocessing`` workers,
+  falling back to a plain serial loop at ``jobs=1`` (the default), so
+  parallel tables are byte-identical to serial ones.
+* :class:`ParallelRunner` — the object the CLI drives: holds the job
+  count and maps experiment- and cell-level task lists.
+
+Telemetry composes (see OBSERVABILITY.md): when a
+:data:`~repro.telemetry.hub.HUB` run is active, workers bracket each
+task with their own hub run and ship the collected per-simulator
+telemetry back for the parent hub to splice in, in task order — so
+``--profile`` merges per-worker hot-path tables exactly as a serial run
+would.
+"""
+
+from repro.runner.parallel import (
+    ParallelRunner,
+    get_jobs,
+    in_worker,
+    parallel_map,
+    set_jobs,
+)
+from repro.runner.seeds import derive_seed
+
+__all__ = [
+    "ParallelRunner",
+    "derive_seed",
+    "get_jobs",
+    "in_worker",
+    "parallel_map",
+    "set_jobs",
+]

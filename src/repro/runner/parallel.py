@@ -1,0 +1,186 @@
+"""Ordered parallel map over multiprocessing workers.
+
+The contract that keeps parallel runs byte-identical to serial ones:
+
+* results come back in *item order*, never completion order;
+* every task is self-seeding (see :mod:`repro.runner.seeds`) — nothing
+  it computes may depend on which worker ran it or when;
+* nested calls run serially: a worker that reaches another
+  ``parallel_map`` just loops, so cell-level parallelism inside an
+  experiment composes with experiment-level fan-out at the CLI without
+  daemonic-process errors or oversubscription;
+* telemetry ships home: when the parent's
+  :data:`~repro.telemetry.hub.HUB` run is active, each task is
+  bracketed with a worker-side hub run and its per-simulator telemetry
+  (registries, spans, tracers, profilers) is spliced into the parent
+  run in task order.
+
+Scheduling note: workers pull one task at a time (``chunksize=1``) and
+tasks are submitted longest-first when the caller passes ``costs``, so
+one long cell (E6's 30 s-dwell arm) doesn't serialize the tail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.telemetry.hub import HUB
+
+__all__ = ["ParallelRunner", "get_jobs", "in_worker", "parallel_map",
+           "set_jobs"]
+
+#: Process-wide default fan-out, set once by the CLI's ``--jobs``.
+_JOBS = 1
+
+#: True inside a pool worker (set by the pool initializer): nested
+#: parallel_map calls run serially instead of forking grandchildren.
+_IN_WORKER = False
+
+
+def set_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (1 = serial)."""
+    global _JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _JOBS = int(jobs)
+
+
+def get_jobs() -> int:
+    """The process-wide default worker count."""
+    return _JOBS
+
+
+def in_worker() -> bool:
+    """True when executing inside a parallel_map pool worker."""
+    return _IN_WORKER
+
+
+def _init_worker() -> None:
+    """Pool initializer: mark the process and drop inherited hub state.
+
+    Under the fork start method the child inherits the parent's HUB
+    mid-run; the child must not double-collect the parent's simulators,
+    so any inherited active run is dropped before the first task.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    if HUB.active:
+        HUB.abort_run()
+
+
+def _invoke(packed):
+    """Worker body, plain mode: apply fn to one item."""
+    fn, item = packed
+    return fn(item)
+
+
+def _invoke_collecting(packed):
+    """Worker body, telemetry mode: bracket the task with a hub run.
+
+    Returns ``(result, payload)`` where payload is the picklable
+    per-simulator telemetry the parent splices into its own run.
+    """
+    fn, item, profile, trace = packed
+    if HUB.active:  # inherited via fork from a mid-run parent
+        HUB.abort_run()
+    HUB.start_run(profile=profile, trace=trace)
+    try:
+        result = fn(item)
+    except BaseException:
+        HUB.abort_run()
+        raise
+    return result, HUB.export_worker_run()
+
+
+def _pool_context():
+    """Prefer fork (cheap, Linux default); fall back to the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
+                 jobs: Optional[int] = None,
+                 costs: Optional[Sequence[float]] = None) -> List[Any]:
+    """Map ``fn`` over ``items`` on worker processes, results in item order.
+
+    Args:
+        fn: a picklable (module-level) single-argument callable.
+        items: task descriptors, each picklable.
+        jobs: worker count; defaults to :func:`get_jobs`. ``1`` (or a
+            single item, or a nested call inside a worker) runs a plain
+            serial loop — the reference behavior parallel runs must match.
+        costs: optional per-item cost hints; when given, tasks are
+            *submitted* longest-first to minimize makespan, but results
+            still come back in item order.
+
+    Telemetry: with an active HUB run, tasks are bracketed in the worker
+    and their collected telemetry is absorbed into the parent run in
+    item order, so exports and merged profiles line up with serial runs.
+    """
+    items = list(items)
+    n = jobs if jobs is not None else _JOBS
+    if n < 1:
+        raise ValueError(f"jobs must be >= 1, got {n}")
+    if n == 1 or _IN_WORKER or len(items) < 2:
+        return [fn(item) for item in items]
+
+    order = list(range(len(items)))
+    if costs is not None:
+        if len(costs) != len(items):
+            raise ValueError("costs must align with items")
+        order.sort(key=lambda i: -costs[i])
+
+    collecting = HUB.active
+    if collecting:
+        packed = [(fn, items[i], HUB.profiling, HUB.tracing) for i in order]
+        worker = _invoke_collecting
+    else:
+        packed = [(fn, items[i]) for i in order]
+        worker = _invoke
+
+    ctx = _pool_context()
+    with ctx.Pool(min(n, len(items)), initializer=_init_worker) as pool:
+        raw = pool.map(worker, packed, chunksize=1)
+
+    # undo the submission reordering
+    by_item: List[Any] = [None] * len(items)
+    for slot, value in zip(order, raw):
+        by_item[slot] = value
+
+    if not collecting:
+        return by_item
+    results = []
+    for result, payload in by_item:
+        HUB.absorb_worker_run(payload)
+        results.append(result)
+    return results
+
+
+class ParallelRunner:
+    """A configured fan-out: the object the CLI and harnesses drive.
+
+    Thin and deliberate: holds a job count, exposes the same ordered
+    map as :func:`parallel_map`, and reports whether it actually fans
+    out (the CLI uses that to pick experiment- vs cell-level splits).
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else get_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    @property
+    def parallel(self) -> bool:
+        """True when this runner will actually use worker processes."""
+        return self.jobs > 1 and not _IN_WORKER
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            costs: Optional[Sequence[float]] = None) -> List[Any]:
+        """Ordered map at this runner's job count (see parallel_map)."""
+        return parallel_map(fn, items, jobs=self.jobs, costs=costs)
+
+    def __repr__(self) -> str:
+        return f"<ParallelRunner jobs={self.jobs}>"

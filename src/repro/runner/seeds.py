@@ -1,0 +1,33 @@
+"""Per-task seed derivation: the same task gets the same seed anywhere.
+
+Parallel runs are only byte-identical to serial ones if no task's
+randomness depends on *when* or *where* it executes. A task must
+therefore never draw from a generator shared with other tasks; it
+derives its own seed from the experiment's root seed plus a structured
+key naming the task — ``derive_seed(seed, "e7", "dlte", n_aps)`` — the
+same recipe :class:`~repro.simcore.rng.RngRegistry` uses for named
+streams (CRC of the name, not ``hash()``, which is salted per process).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["derive_seed"]
+
+#: Large prime multiplier separating root seeds (same as RngRegistry.fork).
+_SEED_PRIME = 1_000_003
+
+
+def derive_seed(root_seed: int, *key: object) -> int:
+    """A stable, non-negative seed for the task named by ``key``.
+
+    The key parts are rendered with ``str`` and CRC-mixed, so any
+    hashable-ish task descriptor (strings, ints, floats, tuples) works.
+    Stable across processes, Python versions, and execution order:
+    a task computes the same seed whether it runs serially, first, last,
+    or on any multiprocessing worker.
+    """
+    text = "\x1f".join(str(part) for part in key)
+    mix = zlib.crc32(text.encode("utf-8"))
+    return (int(root_seed) * _SEED_PRIME + mix) & 0x7FFF_FFFF

@@ -24,7 +24,8 @@ from typing import Any, List, Optional, Tuple
 from repro.telemetry.profiler import RunProfiler
 from repro.telemetry.registry import MetricsRegistry
 
-__all__ = ["HUB", "TelemetryHub", "RunTelemetry", "ambient_registry"]
+__all__ = ["HUB", "TelemetryHub", "RunTelemetry", "WorkerSimTelemetry",
+           "ambient_registry"]
 
 #: Fallback registry for sim-less components outside any hub run.
 _DEFAULT_REGISTRY = MetricsRegistry()
@@ -55,6 +56,23 @@ class RunTelemetry:
         return sorted(seen)
 
 
+class WorkerSimTelemetry:
+    """Picklable stand-in for one simulator collected in a worker process.
+
+    Exposes exactly the attributes :meth:`TelemetryHub.finish_run` reads
+    off a live :class:`~repro.simcore.simulator.Simulator` — ``telemetry``
+    (metrics + spans), ``tracer``, ``profiler`` — so absorbed worker
+    simulators and parent-process simulators merge identically.
+    """
+
+    __slots__ = ("telemetry", "tracer", "profiler")
+
+    def __init__(self, telemetry: Any, tracer: Any, profiler: Any) -> None:
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self.profiler = profiler
+
+
 class TelemetryHub:
     """Process-wide collection point for experiment runs."""
 
@@ -65,11 +83,22 @@ class TelemetryHub:
         self._trace_capacity = 1_000_000
         self._sims: List[Any] = []
         self._shared = MetricsRegistry()
+        self._worker_shared: List[MetricsRegistry] = []
 
     @property
     def registry(self) -> MetricsRegistry:
         """The ambient registry for sim-less components during a run."""
         return self._shared
+
+    @property
+    def profiling(self) -> bool:
+        """True when the active run arms a profiler on each simulator."""
+        return self.active and self._profile
+
+    @property
+    def tracing(self) -> bool:
+        """True when the active run arms a tracer on each simulator."""
+        return self.active and self._trace
 
     # -- run lifecycle -----------------------------------------------------
 
@@ -84,6 +113,7 @@ class TelemetryHub:
         self._trace_capacity = trace_capacity
         self._sims = []
         self._shared = MetricsRegistry()
+        self._worker_shared = []
 
     def adopt(self, sim: Any) -> None:
         """Called by every Simulator constructor; no-op outside a run."""
@@ -116,13 +146,51 @@ class TelemetryHub:
                 profiler.merge(sim.profiler)
         if len(self._shared):
             registries.append(("shared", self._shared))
+        for index, registry in enumerate(self._worker_shared):
+            registries.append((f"shared-w{index}", registry))
         self._sims = []
+        self._worker_shared = []
         return RunTelemetry(registries, span_trackers, tracers, profiler)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
         self.active = False
         self._sims = []
+        self._worker_shared = []
+
+    # -- worker shipping (see repro.runner.parallel) -----------------------
+
+    def export_worker_run(self) -> dict:
+        """Harvest this (worker-side) run into a picklable payload.
+
+        Ends the run: the worker collected telemetry only to ship it
+        home. Span trackers drop their clock closure in transit (see
+        ``SpanTracker.__getstate__``); finished spans travel intact.
+        """
+        if not self.active:
+            raise RuntimeError("no telemetry run is active")
+        payload = {
+            "sims": [WorkerSimTelemetry(sim.telemetry, sim.tracer,
+                                        sim.profiler)
+                     for sim in self._sims],
+            "shared": self._shared if len(self._shared) else None,
+        }
+        self.active = False
+        self._sims = []
+        return payload
+
+    def absorb_worker_run(self, payload: dict) -> None:
+        """Splice a worker payload into the active run, in call order.
+
+        Each shipped simulator joins ``_sims`` exactly where a locally
+        built one would have, so tags, exports, and the merged profile
+        come out in the same order as a serial run.
+        """
+        if not self.active:
+            return
+        self._sims.extend(payload["sims"])
+        if payload["shared"] is not None:
+            self._worker_shared.append(payload["shared"])
 
 
 #: The process-wide hub every Simulator announces itself to.

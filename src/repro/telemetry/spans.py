@@ -38,6 +38,11 @@ from repro.telemetry.registry import MetricsRegistry
 __all__ = ["Span", "SpanTracker"]
 
 
+def _frozen_clock() -> float:
+    """Clock of an unpickled tracker: it only ever reports history."""
+    return 0.0
+
+
 class Span:
     """One timed procedure instance."""
 
@@ -128,6 +133,23 @@ class SpanTracker:
         self.finished: Deque[Span] = deque(maxlen=max_finished)
         self.started = 0
         self.ended = 0
+
+    # -- pickling ----------------------------------------------------------
+    #
+    # Parallel workers ship finished trackers back to the parent hub
+    # (see repro.runner.parallel). The clock is a closure over a live
+    # simulator, so it is dropped in transit and replaced with a frozen
+    # zero clock — shipped trackers are archives, not live recorders.
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = _frozen_clock
 
     # -- creation ----------------------------------------------------------
 
