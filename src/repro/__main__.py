@@ -25,11 +25,26 @@ workers and run in the parent process; everything else is fanned out
 whole, one experiment per worker, with captured output reprinted in id
 order. Tables are byte-identical to ``--jobs 1`` — only the wall-clock
 lines differ.
+
+Robustness (see ROBUSTNESS.md)::
+
+    python -m repro --all --jobs 4 --retries 2        # survive crashes
+    python -m repro --all --task-timeout 300          # kill hung workers
+    python -m repro --all --jobs 4 --resume out/ckpt  # resumable sweep
+    python -m repro E16 --exp-arg scenario=cascading-stub-crashes \
+                        --exp-arg invariants=True     # chaos + invariants
+
+``--retries``/``--task-timeout`` run the fan-out under the supervisor
+(crashed or hung workers are killed and their tasks re-run from the same
+derived seed, so the merged tables stay byte-identical); ``--resume``
+journals finished experiments to ``<dir>/manifest.jsonl`` and a rerun
+replays them byte-for-byte, executing only the unfinished ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import contextlib
 import io
 import os
@@ -39,7 +54,12 @@ from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.metrics.tables import ResultTable
-from repro.runner import parallel_map, set_jobs
+from repro.runner import (
+    SupervisorReport,
+    SweepCheckpoint,
+    set_jobs,
+    supervised_map,
+)
 from repro.telemetry.hub import HUB
 from repro.telemetry.exporters import (
     summary_table,
@@ -102,14 +122,18 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
 
 def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
                    trace_out: Optional[str] = None, profile: bool = False,
-                   multi: bool = False) -> None:
+                   multi: bool = False,
+                   exp_args: Optional[dict] = None) -> None:
     """Run one experiment module's ``run()`` and print its tables.
 
     When any telemetry output is requested, the run is bracketed with
     :meth:`TelemetryHub.start_run` / ``finish_run`` so every simulator
     the experiment builds is collected, then artifacts are written.
+    ``exp_args`` are passed through to the module's ``run()`` (the CLI's
+    ``--exp-arg KEY=VAL``).
     """
     module = ALL_EXPERIMENTS[exp_id]
+    kwargs = exp_args or {}
     collect = bool(metrics_out or trace_out or profile)
     started = time.time()
     print(f"=== {exp_id}: {module.__doc__.strip().splitlines()[0]}")
@@ -117,13 +141,13 @@ def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
     if collect:
         HUB.start_run(profile=profile, trace=bool(trace_out))
         try:
-            result = module.run()
+            result = module.run(**kwargs)
         except BaseException:
             HUB.abort_run()
             raise
         run = HUB.finish_run()
     else:
-        result = module.run()
+        result = module.run(**kwargs)
     _print_result(result)
     if collect:
         _export_run(exp_id, run, metrics_out, trace_out, profile, multi)
@@ -153,29 +177,55 @@ def _run_captured(task) -> str:
 
 def _run_all_parallel(ids: List[str], jobs: int,
                       metrics_out: Optional[str], trace_out: Optional[str],
-                      profile: bool) -> None:
-    """Two-phase parallel schedule over ``ids`` (see module docstring).
+                      profile: bool,
+                      task_timeout_s: Optional[float] = None,
+                      retries: int = 0,
+                      checkpoint: Optional[SweepCheckpoint] = None) -> None:
+    """Two-phase supervised schedule over ``ids`` (see module docstring).
 
     Cell-parallel experiments run in the parent first, their sweeps
-    spread over the pool; the rest are then fanned out whole. All output
-    is buffered and reprinted in the original id order, so apart from
-    timing lines the stream matches a serial run.
+    spread over the pool; the rest are then fanned out whole under the
+    supervisor (deadlines, heartbeats, bounded retry — see
+    ROBUSTNESS.md). All output is buffered and reprinted in the original
+    id order, so apart from timing lines the stream matches a serial
+    run. With ``checkpoint``, finished experiments are journaled and a
+    rerun replays them byte-for-byte.
     """
     multi = len(ids) > 1
     outputs = {}
+    report = SupervisorReport()
     for exp_id in [i for i in ids if i in CELL_PARALLEL_IDS]:
+        key = f"exp:{exp_id}"
+        if checkpoint is not None and checkpoint.done(key):
+            outputs[exp_id] = checkpoint.get(key)
+            report.replayed_from_checkpoint += 1
+            continue
         buf = io.StringIO()
         with contextlib.redirect_stdout(buf):
             run_experiment(exp_id, metrics_out=metrics_out,
                            trace_out=trace_out, profile=profile, multi=multi)
         outputs[exp_id] = buf.getvalue()
+        if checkpoint is not None:
+            checkpoint.record(key, outputs[exp_id])
     rest = [i for i in ids if i not in CELL_PARALLEL_IDS]
     tasks = [(i, metrics_out, trace_out, profile, multi) for i in rest]
-    texts = parallel_map(_run_captured, tasks, jobs=jobs,
-                         costs=[_COST_HINTS.get(i, 1.0) for i in rest])
+    texts = supervised_map(_run_captured, tasks, jobs=jobs,
+                           costs=[_COST_HINTS.get(i, 1.0) for i in rest],
+                           labels=[f"exp:{i}" for i in rest],
+                           task_timeout_s=task_timeout_s, retries=retries,
+                           checkpoint=checkpoint, report=report)
     outputs.update(zip(rest, texts))
     for exp_id in ids:
         sys.stdout.write(outputs[exp_id])
+    # diagnostics go to stderr so stdout stays byte-identical to a
+    # clean serial run regardless of crashes, retries, or resume
+    if report.failures:
+        print(f"[supervisor: {report.crashes} crash(es), "
+              f"{report.hangs} hang(s), {report.exceptions} exception(s); "
+              f"{report.retries} task retry(ies)]", file=sys.stderr)
+    if report.replayed_from_checkpoint:
+        print(f"[resume: {report.replayed_from_checkpoint} experiment(s) "
+              f"replayed from {checkpoint.path}]", file=sys.stderr)
 
 
 def main(argv: List[str] = None) -> int:
@@ -202,9 +252,47 @@ def main(argv: List[str] = None) -> int:
                         help="fan experiments and sweep cells over N "
                              "worker processes (default 1 = serial; "
                              "tables are byte-identical either way)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-experiment wall-clock deadline; a task "
+                             "over it is declared hung, its worker killed, "
+                             "and the task retried (see --retries)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a crashed or hung experiment up to N "
+                             "times (tasks are self-seeding, so retried "
+                             "output is byte-identical)")
+    parser.add_argument("--resume", metavar="DIR",
+                        help="journal finished experiments to "
+                             "DIR/manifest.jsonl and, on rerun, replay "
+                             "them byte-for-byte instead of re-executing")
+    parser.add_argument("--exp-arg", action="append", default=[],
+                        metavar="KEY=VAL", dest="exp_args",
+                        help="pass KEY=VAL through to the experiment's "
+                             "run() (single experiment only); VAL is "
+                             "parsed as a Python literal when possible, "
+                             "e.g. --exp-arg scenario=flapping-backhaul "
+                             "--exp-arg invariants=True")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error(f"--task-timeout must be positive, "
+                     f"got {args.task_timeout}")
+    if args.resume and (args.metrics_out or args.trace_out or args.profile):
+        parser.error("--resume cannot be combined with telemetry flags "
+                     "(--metrics-out/--trace-out/--profile): replayed "
+                     "experiments would not re-export their telemetry")
+    exp_args = {}
+    for pair in args.exp_args:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            parser.error(f"--exp-arg expects KEY=VAL, got {pair!r}")
+        try:
+            exp_args[key] = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            exp_args[key] = value
     set_jobs(args.jobs)
 
     if args.list:
@@ -222,14 +310,30 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown experiment ids: {unknown}; "
               f"choices: {list(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    if args.jobs > 1 and len(ids) > 1:
-        _run_all_parallel(ids, args.jobs, args.metrics_out,
-                          args.trace_out, args.profile)
+    if exp_args and len(ids) != 1:
+        parser.error("--exp-arg needs exactly one experiment id")
+
+    supervise = (args.resume is not None or args.retries > 0
+                 or args.task_timeout is not None)
+    if exp_args and supervise:
+        parser.error("--exp-arg cannot be combined with "
+                     "--resume/--retries/--task-timeout")
+    if (args.jobs > 1 and len(ids) > 1) or (supervise and not exp_args):
+        checkpoint = (SweepCheckpoint(args.resume, run_id="repro-cli")
+                      if args.resume else None)
+        try:
+            _run_all_parallel(ids, args.jobs, args.metrics_out,
+                              args.trace_out, args.profile,
+                              task_timeout_s=args.task_timeout,
+                              retries=args.retries, checkpoint=checkpoint)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         return 0
     for exp_id in ids:
         run_experiment(exp_id, metrics_out=args.metrics_out,
                        trace_out=args.trace_out, profile=args.profile,
-                       multi=len(ids) > 1)
+                       multi=len(ids) > 1, exp_args=exp_args or None)
     return 0
 
 

@@ -97,7 +97,9 @@ class FairSharingCoordinator:
 
     def _maybe_partition(self) -> None:
         expected = self.x2.peer_ids | {self.x2.ap_id}
-        if set(self._claims) < expected:
+        # require a claim from *every* expected member — a lingering
+        # claim from a crashed ex-peer must not make the set look whole
+        if not expected <= set(self._claims):
             return
         partition = compute_weighted_partition(
             self.grid.n_prbs,

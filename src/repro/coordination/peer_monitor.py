@@ -69,6 +69,7 @@ class PeerMonitor:
         self._running = False
         self._generation = 0
         x2.add_handler(self._on_x2)
+        x2.on_peer_connected.append(self._on_peer_connected)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -110,6 +111,16 @@ class PeerMonitor:
         if from_ap in self._dead:
             self._readmit(from_ap)
         self._last_heard[from_ap] = self.sim.now
+
+    def _on_peer_connected(self, peer_ap_id: str) -> None:
+        # a fresh (re)peering is itself a liveness signal: grant a new
+        # window immediately, or a peer rejoining after an outage gets
+        # judged by its stale pre-crash timestamp and is re-declared
+        # dead before its first claim even arrives — severing the new
+        # channel and wedging the federation in split-brain slices
+        self._last_heard[peer_ap_id] = self.sim.now
+        if peer_ap_id in self._dead:
+            self._readmit(peer_ap_id)
 
     def last_heard_s(self, peer_ap_id: str) -> Optional[float]:
         """When we last heard from a peer (None = never)."""

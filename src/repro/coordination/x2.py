@@ -92,6 +92,11 @@ class X2Endpoint(ControlAgent):
         self.ap_id = ap_id
         self.peers: Dict[str, ControlChannel] = {}
         self.handlers: List[Callable[[str, X2Message], None]] = []
+        #: called with the peer ap_id whenever a new channel is
+        #: established (either side may initiate); liveness monitors use
+        #: this to grant a fresh window instead of judging a rejoining
+        #: peer by its stale pre-crash timestamp
+        self.on_peer_connected: List[Callable[[str], None]] = []
         self.bytes_sent = 0
         self.messages_sent = 0
 
@@ -108,6 +113,10 @@ class X2Endpoint(ControlAgent):
                                  name=f"x2:{self.ap_id}<->{peer.ap_id}")
         self.peers[peer.ap_id] = channel
         peer.peers[self.ap_id] = channel
+        for hook in self.on_peer_connected:
+            hook(peer.ap_id)
+        for hook in peer.on_peer_connected:
+            hook(self.ap_id)
         return channel
 
     def disconnect_peer(self, peer_ap_id: str) -> None:

@@ -262,6 +262,13 @@ class DLTEAccessPoint:
             return
         self.alive = True
         self.sim.trace("fault", f"{self.ap_id}: restarting")
+        # a rebooted box holds no connections: drop any peering that
+        # survived the crash on our side (peers that already declared
+        # us dead severed theirs), then re-peer from discovery — else
+        # a half-open channel to a still-dead peer leaves us waiting
+        # for a claim that can never come while we serve a stale slice
+        for peer_ap_id in list(self.x2.peer_ids):
+            self.x2.disconnect_peer(peer_ap_id)
         self.stub.restart()
         for handler in self._saved_x2_handlers:
             if handler not in self.x2.handlers:
@@ -301,7 +308,10 @@ class DLTEAccessPoint:
             self.neighbors = records
             for record in records:
                 peer = directory.get(record.ap_id)
-                if peer is None:
+                # a crashed AP's stale registry record still names a
+                # contact, but connecting to a dead box just fails —
+                # it will (re)peer with us itself when it comes back
+                if peer is None or not getattr(peer, "alive", True):
                     continue
                 one_way = self.internet.rtt_between_s(
                     self.router.name, peer.router.name) / 2.0

@@ -48,6 +48,26 @@ class UeState(enum.Enum):
 class UserEquipment(ControlAgent):
     """The control-plane side of a handset."""
 
+    #: class defaults so the ``state`` property works during __init__;
+    #: the observer hook is how the invariant checker audits NAS
+    #: transition legality without touching the uninstrumented path
+    #: (one attribute test per state change, zero per-event cost).
+    _state = UeState.IDLE
+    _state_observer: Optional[Callable[["UserEquipment", "UeState",
+                                        "UeState"], None]] = None
+
+    @property
+    def state(self) -> UeState:
+        """Current NAS state; assignments notify any installed observer."""
+        return self._state
+
+    @state.setter
+    def state(self, value: UeState) -> None:
+        observer = self._state_observer
+        if observer is not None:
+            observer(self, self._state, value)
+        self._state = value
+
     def __init__(self, sim: Simulator, profile: SubscriberProfile,
                  name: Optional[str] = None,
                  service_time_s: float = 0.1e-3) -> None:

@@ -36,7 +36,7 @@ from repro.core.network import (
     DLTENetwork,
 )
 from repro.epc.ue import UeState
-from repro.faults import FaultInjector
+from repro.faults import FaultInjector, compose_scenario, prepare_scenario
 from repro.metrics.tables import ResultTable
 from repro.net.packet import Packet
 from repro.workloads.topology import RuralTown
@@ -132,40 +132,83 @@ def _busiest_ap(net: DLTENetwork) -> str:
     return max(sorted(counts), key=lambda ap_id: counts[ap_id])
 
 
+def _dlte_surviving_frac(net: DLTENetwork, victims) -> float:
+    """Fraction of clients whose serving AP is not directly attacked."""
+    hit = sum(1 for s in net._serving_ap.values() if s in set(victims))
+    return (len(net._serving_ap) - hit) / max(1, len(net._serving_ap))
+
+
 def run(seed: int = 11, n_aps: int = 3, n_ues: int = 12,
         radius_m: float = 2500.0, heartbeat_s: float = 1.0,
         probe_interval_s: float = 1.0, fail_at_s: float = 5.0,
-        outage_s: float = 15.0, horizon_s: float = 40.0
+        outage_s: float = 15.0, horizon_s: float = 40.0,
+        scenario: str = "", invariants: bool = False
         ) -> Tuple[ResultTable, ResultTable]:
-    """Reachability over time + resilience summary for both arms."""
+    """Reachability over time + resilience summary for both arms.
+
+    ``scenario`` swaps the default single-site outage for a named chaos
+    scenario from :mod:`repro.faults.scenarios` (same storm on both
+    arms); ``invariants`` arms a live
+    :class:`~repro.invariants.InvariantChecker` on each arm and raises
+    if any conservation law broke during the campaign.
+    """
     town = RuralTown(radius_m=radius_m, n_ues=n_ues, n_aps=n_aps, seed=seed)
 
     dlte_net = DLTENetwork.build(town, seed=seed)
+    if scenario:
+        prepare_scenario(scenario, dlte_net)
     dlte = _ResilienceArm("dLTE (federated)", dlte_net)
+    checkers = []
+    if invariants:
+        from repro.invariants import watch_network
+        checkers.append(watch_network(dlte_net))
     _settle_dlte(dlte_net, heartbeat_s)
 
     cent_net = CentralizedLTENetwork.build(town, seed=seed)
+    if scenario:
+        prepare_scenario(scenario, cent_net)
     cent = _ResilienceArm("Centralized LTE", cent_net)
+    if invariants:
+        from repro.invariants import watch_network
+        checkers.append(watch_network(cent_net))
     _settle_centralized(cent_net)
 
-    # identical fault shape on both clocks: one site dark for outage_s.
-    # dLTE loses its busiest AP; centralized loses the EPC site.
-    crash_ap = _busiest_ap(dlte_net)
-    victims = sum(1 for s in dlte_net._serving_ap.values() if s == crash_ap)
-    surviving_frac = (n_ues - victims) / n_ues
     t0 = {"dlte": dlte.sim.now, "cent": cent.sim.now}
-    dlte.injector.outage(
-        lambda: dlte_net.crash_ap(crash_ap),
-        lambda: dlte_net.restart_ap(crash_ap),
-        at_s=t0["dlte"] + fail_at_s, duration_s=outage_s,
-        name=f"power-fail:{crash_ap}")
-    cent.injector.outage(
-        cent_net.fail_epc, cent_net.restore_epc,
-        at_s=t0["cent"] + fail_at_s, duration_s=outage_s,
-        name="power-fail:epc-site")
+    if scenario:
+        # the same named storm on both clocks (see faults/scenarios.py)
+        plan_d = compose_scenario(scenario, dlte_net, dlte.injector,
+                                  t0["dlte"] + fail_at_s)
+        plan_c = compose_scenario(scenario, cent_net, cent.injector,
+                                  t0["cent"] + fail_at_s)
+        restore_at_by_arm = {id(dlte): plan_d.end_s, id(cent): plan_c.end_s}
+        surviving_by_arm = {
+            id(dlte): _dlte_surviving_frac(dlte_net, plan_d.victims),
+            id(cent): 0.0 if plan_c.faults else 1.0,
+        }
+    else:
+        # default shape: one site dark for outage_s — dLTE loses its
+        # busiest AP, centralized loses the EPC site.
+        crash_ap = _busiest_ap(dlte_net)
+        surviving_frac = _dlte_surviving_frac(dlte_net, (crash_ap,))
+        dlte.injector.outage(
+            lambda: dlte_net.crash_ap(crash_ap),
+            lambda: dlte_net.restart_ap(crash_ap),
+            at_s=t0["dlte"] + fail_at_s, duration_s=outage_s,
+            name=f"power-fail:{crash_ap}")
+        cent.injector.outage(
+            cent_net.fail_epc, cent_net.restore_epc,
+            at_s=t0["cent"] + fail_at_s, duration_s=outage_s,
+            name="power-fail:epc-site")
+        restore_at_by_arm = {
+            id(dlte): t0["dlte"] + fail_at_s + outage_s,
+            id(cent): t0["cent"] + fail_at_s + outage_s,
+        }
+        surviving_by_arm = {id(dlte): surviving_frac, id(cent): 0.0}
 
+    storm = (f"chaos scenario {scenario!r}" if scenario
+             else "one site outage")
     timeline = ResultTable(
-        "E16: reachability over time under one site outage",
+        f"E16: reachability over time under {storm}",
         ["time_s", "arm", "reachable_frac"])
     n_probes = int(horizon_s / probe_interval_s)
     for _ in range(n_probes):
@@ -179,7 +222,7 @@ def run(seed: int = 11, n_aps: int = 3, n_ues: int = 12,
         ["arm", "min_reach_frac", "surviving_frac", "time_to_recover_s",
          "probes_sent", "probes_lost", "stuck_ues"])
     for arm, start in ((dlte, t0["dlte"]), (cent, t0["cent"])):
-        restore_at = start + fail_at_s + outage_s
+        restore_at = restore_at_by_arm[id(arm)]
         baseline = arm.timeline[0][1]
         during = [f for t, f in arm.timeline
                   if start + fail_at_s <= t < restore_at]
@@ -190,10 +233,11 @@ def run(seed: int = 11, n_aps: int = 3, n_ues: int = 12,
                     if ue.state is not UeState.ATTACHED)
         summary.add_row(arm=arm.name,
                         min_reach_frac=min(during) if during else 1.0,
-                        surviving_frac=(surviving_frac
-                                        if arm is dlte else 0.0),
+                        surviving_frac=surviving_by_arm[id(arm)],
                         time_to_recover_s=recover_s,
                         probes_sent=arm.probes_sent,
                         probes_lost=arm.probes_lost,
                         stuck_ues=stuck)
+    for checker in checkers:
+        checker.verify()
     return timeline, summary

@@ -3,9 +3,32 @@
 The subsystem that makes the paper's robustness claims *measurable*:
 link cuts and flaps, probabilistic loss, AP crash/restart, core and
 registry outages — all named, logged, and reproducible from
-``(seed, schedule)``.
+``(seed, schedule)``. :mod:`repro.faults.scenarios` composes the
+primitives into named chaos scenarios (flapping backhaul, cascading
+stub crashes, SAS outage during lease renewal) with deterministic
+schedules and known recovery envelopes; see ROBUSTNESS.md for the
+catalog.
 """
 
 from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.scenarios import (
+    SCENARIOS,
+    ChaosScenario,
+    ScenarioPlan,
+    compose_scenario,
+    get_scenario,
+    list_scenarios,
+    prepare_scenario,
+)
 
-__all__ = ["FaultInjector", "FaultRecord"]
+__all__ = [
+    "SCENARIOS",
+    "ChaosScenario",
+    "FaultInjector",
+    "FaultRecord",
+    "ScenarioPlan",
+    "compose_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "prepare_scenario",
+]

@@ -65,6 +65,9 @@ class FaultInjector:
         self.log: List[FaultRecord] = []
         self.faults_injected = 0
         self._names = set()
+        # active injector-driven cuts per link: overlapping cut windows
+        # must not heal a link that another cut still holds down
+        self._link_cuts: dict = {}
         self._m_fired = sim.metrics.counter("faults.activations")
 
     # -- bookkeeping -------------------------------------------------------
@@ -93,17 +96,36 @@ class FaultInjector:
         return candidate
 
     # -- link faults -------------------------------------------------------
+    #
+    # Cuts are reference-counted per link: when two injected windows
+    # overlap (a flap during a longer cut, two cuts on one fiber), the
+    # link only comes back up when the *last* cut heals — an early heal
+    # must not mask a fault that is still supposed to be active.
+
+    def _cut(self, link: Link) -> None:
+        count = self._link_cuts.get(id(link), 0)
+        self._link_cuts[id(link)] = count + 1
+        if count == 0:
+            link.set_up(False)
+
+    def _heal(self, link: Link) -> None:
+        count = self._link_cuts.get(id(link), 0) - 1
+        if count <= 0:
+            self._link_cuts.pop(id(link), None)
+            link.set_up(True)
+        else:
+            self._link_cuts[id(link)] = count
 
     def link_down(self, link: Link, at_s: float,
                   duration_s: Optional[float] = None,
                   name: Optional[str] = None) -> str:
         """Cut ``link`` at ``at_s``; heal after ``duration_s`` if given."""
         fault = self._unique(name, f"link-down:{link.name}")
-        self._at(at_s, fault, "down", link.set_up, False)
+        self._at(at_s, fault, "down", self._cut, link)
         if duration_s is not None:
             if duration_s <= 0:
                 raise ValueError("duration must be positive")
-            self._at(at_s + duration_s, fault, "up", link.set_up, True)
+            self._at(at_s + duration_s, fault, "up", self._heal, link)
         return fault
 
     def link_flap(self, link: Link, at_s: float, down_s: float, up_s: float,
@@ -116,8 +138,8 @@ class FaultInjector:
         fault = self._unique(name, f"link-flap:{link.name}")
         t = at_s
         for _ in range(cycles):
-            self._at(t, fault, "down", link.set_up, False)
-            self._at(t + down_s, fault, "up", link.set_up, True)
+            self._at(t, fault, "down", self._cut, link)
+            self._at(t + down_s, fault, "up", self._heal, link)
             t += down_s + up_s
         return fault
 

@@ -1,0 +1,251 @@
+"""Runtime invariant checker: conservation laws audited mid-run.
+
+Chaos runs are only trustworthy if the simulation stays *internally
+consistent* while being broken on purpose — a fault campaign that
+silently leaks packets or teleports the clock proves nothing about
+resilience. :class:`InvariantChecker` registers conservation checks
+against live components and sweeps them periodically on the simulated
+clock (plus once at the end via :meth:`verify`):
+
+* **packet conservation** (:meth:`watch_link`): at any instant
+  ``offered == delivered + dropped + in_flight`` and every drop is
+  attributed to a cause (``overflow + down + loss == dropped``);
+* **NAT accounting** (:meth:`watch_nat`): bindings only exist for
+  flows that translated outbound;
+* **tunnel conservation** (:meth:`watch_tunnel`): across all watched
+  endpoints, no packet is decapsulated that was never encapsulated;
+* **event-clock monotonicity** (:meth:`watch_clock`): ``sim.now`` never
+  runs backwards and nothing is queued in the past;
+* **spectrum-grant sanity and non-overlap** (see
+  :func:`repro.invariants.network.watch_federation`);
+* **NAS attach-state legality** (:meth:`watch_ue`): a UE can only
+  become ATTACHED from ATTACHING — checked on every transition via the
+  UE's state observer hook, not by sampling.
+
+Passivity: checks read counters, draw no randomness, and schedule only
+their own sweep process, so an instrumented run's tables are
+byte-identical to an uninstrumented one; with no checker armed the
+simulation pays nothing (the hooks are dormant attribute tests off the
+per-event path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.simcore.simulator import Simulator
+
+__all__ = ["InvariantChecker", "InvariantError", "InvariantViolation"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed breach: which law, on what, and how it failed."""
+
+    time_s: float
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.time_s:10.3f}] {self.check} on {self.subject}: "
+                f"{self.detail}")
+
+
+class InvariantError(AssertionError):
+    """Raised by :meth:`InvariantChecker.verify` when any law broke."""
+
+    def __init__(self, violations: List[InvariantViolation]) -> None:
+        self.violations = list(violations)
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines.extend(str(violation) for violation in violations[:20])
+        if len(violations) > 20:
+            lines.append(f"... and {len(violations) - 20} more")
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Registers conservation checks and sweeps them on the sim clock.
+
+    Each check is a callable returning a list of violation detail
+    strings (empty = law holds). Violations are recorded (``.violations``),
+    counted in the simulator's metrics (``invariants.violations``),
+    and traced (``sim.trace("invariant", ...)``); they never mutate
+    simulation state, so an armed checker changes no tables.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.violations: List[InvariantViolation] = []
+        self.checks_run = 0
+        self._checks: List[tuple] = []  # (name, subject, fn)
+        self._sweeping = False
+        # lazily created so a clean checker leaves metrics untouched
+        self._m_violations = None
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str, subject: str,
+                 fn: Callable[[], List[str]]) -> None:
+        """Add a check; ``fn()`` returns violation details (empty = ok)."""
+        self._checks.append((name, subject, fn))
+
+    def watch_link(self, link: Any) -> None:
+        """Audit a :class:`~repro.net.links.Link`'s conservation law."""
+
+        def check() -> List[str]:
+            problems = []
+            causes = (link.dropped_overflow + link.dropped_down
+                      + link.dropped_loss)
+            if causes != link.dropped:
+                problems.append(
+                    f"unattributed drops: {link.dropped} total != "
+                    f"{causes} by cause (overflow={link.dropped_overflow} "
+                    f"down={link.dropped_down} loss={link.dropped_loss})")
+            accounted = link.delivered + link.dropped + link.in_flight
+            if accounted != link.offered:
+                problems.append(
+                    f"packet leak: offered={link.offered} != "
+                    f"delivered={link.delivered} + dropped={link.dropped} "
+                    f"+ in_flight={link.in_flight}")
+            if link.in_flight < 0:
+                problems.append(f"negative in_flight: {link.in_flight}")
+            if link.queue_depth > link.queue_packets:
+                problems.append(
+                    f"queue over capacity: {link.queue_depth} > "
+                    f"{link.queue_packets}")
+            return problems
+
+        self.register("link-conservation", link.name, check)
+
+    def watch_nat(self, nat: Any) -> None:
+        """Audit a :class:`~repro.net.nat.NatRouter`'s binding accounting."""
+
+        def check() -> List[str]:
+            problems = []
+            if nat.active_bindings > nat.translated_out:
+                problems.append(
+                    f"bindings without outbound translations: "
+                    f"{nat.active_bindings} bindings > "
+                    f"{nat.translated_out} translated out")
+            if min(nat.translated_in, nat.translated_out,
+                   nat.unsolicited_drops) < 0:
+                problems.append("negative NAT counter")
+            return problems
+
+        self.register("nat-accounting", nat.name, check)
+
+    def watch_tunnel(self, endpoint: Any, name: str = "") -> None:
+        """Include a :class:`TunnelEndpoint` in GTP conservation.
+
+        The law is aggregate — every decapsulation pops a layer some
+        watched endpoint pushed — so endpoints register into one shared
+        check installed on first use.
+        """
+        if not hasattr(self, "_tunnel_endpoints"):
+            self._tunnel_endpoints: List[Any] = []
+
+            def check() -> List[str]:
+                encapsulated = sum(e.encapsulated
+                                   for e in self._tunnel_endpoints)
+                decapsulated = sum(e.decapsulated
+                                   for e in self._tunnel_endpoints)
+                if decapsulated > encapsulated:
+                    return [f"decapsulated {decapsulated} packets but only "
+                            f"{encapsulated} were ever encapsulated"]
+                return []
+
+            self.register("gtp-conservation", "all-endpoints", check)
+        self._tunnel_endpoints.append(endpoint)
+
+    def watch_clock(self) -> None:
+        """Audit event-clock monotonicity and run-queue discipline."""
+        last = {"now": self.sim.now}
+
+        def check() -> List[str]:
+            problems = []
+            now = self.sim.now
+            if now < last["now"]:
+                problems.append(
+                    f"clock ran backwards: {now} < {last['now']}")
+            last["now"] = now
+            heap = self.sim._heap
+            if heap and heap[0][0] < now:
+                problems.append(
+                    f"event queued in the past: head at {heap[0][0]} "
+                    f"< now {now}")
+            return problems
+
+        self.register("clock-monotonicity", "simulator", check)
+
+    def watch_ue(self, ue: Any) -> None:
+        """Audit a UE's NAS transitions as they happen (not sampled)."""
+        from repro.epc.ue import UeState
+
+        def on_transition(subject, old: UeState, new: UeState) -> None:
+            if new is UeState.ATTACHED and old not in (UeState.ATTACHING,
+                                                       UeState.ATTACHED):
+                self._record("nas-legality", subject.name,
+                             f"illegal transition {old.value} -> "
+                             f"{new.value}: ATTACHED is only reachable "
+                             f"from ATTACHING")
+            self.checks_run += 1
+
+        ue._state_observer = on_transition
+
+    # -- execution ---------------------------------------------------------
+
+    def _record(self, check: str, subject: str, detail: str) -> None:
+        violation = InvariantViolation(time_s=self.sim.now, check=check,
+                                       subject=subject, detail=detail)
+        self.violations.append(violation)
+        if self._m_violations is None:
+            self._m_violations = self.sim.metrics.counter(
+                "invariants.violations")
+        self._m_violations.inc()
+        self.sim.trace("invariant", f"{check} violated on {subject}",
+                       detail=detail)
+
+    def check_now(self) -> List[InvariantViolation]:
+        """Run every registered check once; returns new violations."""
+        before = len(self.violations)
+        for name, subject, fn in self._checks:
+            self.checks_run += 1
+            for detail in fn():
+                self._record(name, subject, detail)
+        return self.violations[before:]
+
+    def arm(self, period_s: float = 0.5) -> None:
+        """Sweep all checks every ``period_s`` simulated seconds.
+
+        Idempotent; the sweep schedules only itself, draws no
+        randomness, and mutates nothing, so armed runs produce
+        byte-identical tables.
+        """
+        if period_s <= 0:
+            raise ValueError("sweep period must be positive")
+        if self._sweeping:
+            return
+        self._sweeping = True
+
+        def sweep():
+            while self._sweeping:
+                yield self.sim.timeout(period_s)
+                self.check_now()
+
+        self.sim.process(sweep(), name="invariant-sweep")
+
+    def disarm(self) -> None:
+        """Stop the periodic sweep (explicit check_now keeps working)."""
+        self._sweeping = False
+
+    def verify(self) -> None:
+        """Final audit: run every check, raise if anything ever broke."""
+        self.check_now()
+        if self.violations:
+            raise InvariantError(self.violations)
+
+    def __repr__(self) -> str:
+        return (f"<InvariantChecker checks={len(self._checks)} "
+                f"run={self.checks_run} violations={len(self.violations)}>")

@@ -53,7 +53,12 @@ class Link:
         # fault state
         self.up = True
         self.loss_rate = 0.0
-        # counters; ``dropped`` is the running total across all causes
+        # counters; ``dropped`` is the running total across all causes.
+        # ``offered`` and ``in_flight`` close the conservation law the
+        # invariant checker audits: at any instant
+        # ``offered == delivered + dropped + in_flight``.
+        self.offered = 0
+        self.in_flight = 0
         self.delivered = 0
         self.dropped = 0
         self.dropped_overflow = 0
@@ -93,6 +98,7 @@ class Link:
             self._queue.clear()
             self.dropped += lost
             self.dropped_down += lost
+            self.in_flight -= lost
             self._m_drops["down"].inc(lost)
             self._m_queue.set(0)
 
@@ -121,6 +127,7 @@ class Link:
         when the link is down, the loss draw fails, or the queue is full."""
         if self.receiver is None:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        self.offered += 1
         if not self.up:
             return self._drop("down")
         if self.loss_rate > 0.0 and (self.sim.rng(f"link-loss:{self.name}")
@@ -130,8 +137,10 @@ class Link:
             if len(self._queue) >= self.queue_packets:
                 return self._drop("overflow")
             self._queue.append(packet)
+            self.in_flight += 1
             self._m_queue.set(len(self._queue))
             return True
+        self.in_flight += 1
         self._serialize(packet)
         return True
 
@@ -152,6 +161,7 @@ class Link:
             self._busy = False
 
     def _deliver(self, packet: Packet) -> None:
+        self.in_flight -= 1
         if not self.up:
             self._drop("down")  # cut mid-flight
             return

@@ -14,6 +14,11 @@ than from execution order, which this package enforces:
   parallel tables are byte-identical to serial ones.
 * :class:`ParallelRunner` — the object the CLI drives: holds the job
   count and maps experiment- and cell-level task lists.
+* :func:`supervised_map` / :class:`SupervisedRunner` — the same ordered
+  map under supervision: per-task deadlines, worker heartbeats, crashed
+  and hung-worker kill + bounded retry (byte-identical by stable
+  reseeding), structured :class:`TaskFailure` records, and
+  checkpoint/resume via :class:`SweepCheckpoint` (see ROBUSTNESS.md).
 
 Telemetry composes (see OBSERVABILITY.md): when a
 :data:`~repro.telemetry.hub.HUB` run is active, workers bracket each
@@ -23,20 +28,36 @@ telemetry back for the parent hub to splice in, in task order — so
 would.
 """
 
+from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.parallel import (
     ParallelRunner,
+    WorkerTaskError,
     get_jobs,
     in_worker,
     parallel_map,
     set_jobs,
 )
 from repro.runner.seeds import derive_seed
+from repro.runner.supervisor import (
+    SupervisedRunner,
+    SupervisorReport,
+    TaskFailedError,
+    TaskFailure,
+    supervised_map,
+)
 
 __all__ = [
     "ParallelRunner",
+    "SupervisedRunner",
+    "SupervisorReport",
+    "SweepCheckpoint",
+    "TaskFailedError",
+    "TaskFailure",
+    "WorkerTaskError",
     "derive_seed",
     "get_jobs",
     "in_worker",
     "parallel_map",
     "set_jobs",
+    "supervised_map",
 ]

@@ -1,0 +1,146 @@
+"""Resumable sweep journal: completed cells survive a killed run.
+
+A long ``--all --jobs N`` regeneration that dies 90% through (OOM, a
+pulled plug, Ctrl-C) should not start over. :class:`SweepCheckpoint`
+journals every completed sweep cell as one JSON line in an append-only
+manifest; ``python -m repro --all --resume <dir>`` loads the manifest,
+replays the journaled cells' outputs byte-for-byte, and executes only
+the unfinished ones. Because tasks are self-seeding (see
+:mod:`repro.runner.seeds`), the merged tables are byte-identical to an
+uninterrupted run.
+
+Durability: records are flushed and fsync'd as they are written, and a
+torn final line (the process died mid-write) is detected and dropped on
+load — the cell it named simply re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["SweepCheckpoint"]
+
+#: Manifest schema version, written in the header record.
+_SCHEMA = 1
+
+
+class SweepCheckpoint:
+    """An append-only JSONL journal of completed sweep cells.
+
+    Args:
+        directory: where the manifest lives (created if missing).
+        run_id: optional campaign name recorded in the header; a resume
+            with a *different* run_id refuses to mix manifests.
+
+    Keys are caller-chosen strings (the CLI uses ``exp:<id>``); payloads
+    must be JSON-serializable. One instance may be shared between the
+    journaling producer and the resume consumer — :meth:`record` keeps
+    the in-memory view and the on-disk journal in step.
+    """
+
+    MANIFEST = "manifest.jsonl"
+
+    def __init__(self, directory: str, run_id: Optional[str] = None) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, self.MANIFEST)
+        self._done: Dict[str, Any] = {}
+        self.dropped_torn_lines = 0
+        self._load(run_id)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if self._fresh:
+            self._append({"kind": "header", "schema": _SCHEMA,
+                          "run_id": run_id or ""})
+
+    # -- load ------------------------------------------------------------------
+
+    def _load(self, run_id: Optional[str]) -> None:
+        self._fresh = True
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        lines = content.split("\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if all(not rest.strip() for rest in lines[index + 1:]):
+                    # torn tail from a mid-write death: drop it — and
+                    # truncate it from disk, or the next append would
+                    # glue a fresh record onto the unterminated fragment
+                    self.dropped_torn_lines += 1
+                    clean = "\n".join(lines[:index])
+                    if clean:
+                        clean += "\n"
+                    with open(self.path, "w", encoding="utf-8") as handle:
+                        handle.write(clean)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    continue
+                # a torn line *followed by* intact ones means the file
+                # was corrupted some other way; refuse to guess
+                raise ValueError(
+                    f"{self.path}: corrupt manifest line {index + 1}")
+            kind = record.get("kind")
+            if kind == "header":
+                self._fresh = False
+                manifest_run = record.get("run_id", "")
+                if run_id and manifest_run and manifest_run != run_id:
+                    raise ValueError(
+                        f"{self.path} belongs to run {manifest_run!r}, "
+                        f"not {run_id!r}; use a fresh --resume directory")
+            elif kind == "cell":
+                self._done[record["key"]] = record["payload"]
+        if self._done:
+            self._fresh = False
+
+    # -- journal ----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, key: str, payload: Any) -> None:
+        """Journal one completed cell (idempotent for identical keys)."""
+        if key in self._done:
+            return
+        self._done[key] = payload
+        self._append({"kind": "cell", "key": key, "payload": payload})
+
+    # -- queries ----------------------------------------------------------------
+
+    def done(self, key: str) -> bool:
+        """True when ``key`` was journaled (here or in a prior run)."""
+        return key in self._done
+
+    def get(self, key: str) -> Any:
+        """The journaled payload for ``key`` (KeyError if not done)."""
+        return self._done[key]
+
+    def keys(self) -> Iterator[str]:
+        """Journaled keys, in insertion order."""
+        return iter(self._done)
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def close(self) -> None:
+        """Close the journal handle (records already on disk stay)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"<SweepCheckpoint {self.path} done={len(self._done)} "
+                f"torn={self.dropped_torn_lines}>")

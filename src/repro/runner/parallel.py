@@ -15,20 +15,37 @@ The contract that keeps parallel runs byte-identical to serial ones:
   (registries, spans, tracers, profilers) is spliced into the parent
   run in task order.
 
+Failure semantics: a task that raises does **not** poison the ordered
+merge — the worker catches the exception and ships a failure record
+home, and the parent raises :class:`WorkerTaskError` carrying the
+original traceback annotated with the task's index and item (which
+names its seed), in item order. Pool teardown is guaranteed: the pool
+is terminated on any exit path (including ``KeyboardInterrupt``), pool
+workers ignore ``SIGINT`` so only the parent decides when to die, and
+an ``atexit`` hook reaps any pool still alive at interpreter exit, so
+no orphan fork workers survive the parent.
+
 Scheduling note: workers pull one task at a time (``chunksize=1``) and
 tasks are submitted longest-first when the caller passes ``costs``, so
 one long cell (E6's 30 s-dwell arm) doesn't serialize the tail.
+
+For per-task deadlines, hung/crashed-worker recovery, and bounded
+retries, see :mod:`repro.runner.supervisor`, which layers supervision
+on the same ordered-map contract.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import signal
+import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.telemetry.hub import HUB
 
-__all__ = ["ParallelRunner", "get_jobs", "in_worker", "parallel_map",
-           "set_jobs"]
+__all__ = ["ParallelRunner", "WorkerTaskError", "get_jobs", "in_worker",
+           "parallel_map", "set_jobs"]
 
 #: Process-wide default fan-out, set once by the CLI's ``--jobs``.
 _JOBS = 1
@@ -36,6 +53,56 @@ _JOBS = 1
 #: True inside a pool worker (set by the pool initializer): nested
 #: parallel_map calls run serially instead of forking grandchildren.
 _IN_WORKER = False
+
+#: Pools currently mapping, reaped at interpreter exit if still alive.
+_ACTIVE_POOLS: set = set()
+
+
+def _reap_pools() -> None:
+    """atexit hook: terminate any pool the parent left running."""
+    for pool in list(_ACTIVE_POOLS):
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+    _ACTIVE_POOLS.clear()
+
+
+atexit.register(_reap_pools)
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a pool worker.
+
+    Carries the failing task's index, the item it was applied to (whose
+    repr names the derived seed for experiment tasks), the original
+    exception type name, and the worker-side traceback text.
+    """
+
+    def __init__(self, slot: int, item: Any, exc_type: str,
+                 traceback_text: str) -> None:
+        self.slot = slot
+        self.item = item
+        self.exc_type = exc_type
+        self.traceback_text = traceback_text
+        item_repr = repr(item)
+        if len(item_repr) > 200:
+            item_repr = item_repr[:197] + "..."
+        super().__init__(
+            f"task {slot} ({item_repr}) raised {exc_type} in a pool "
+            f"worker; original traceback:\n{traceback_text}")
+
+
+class _WorkerFailure:
+    """Picklable failure record shipped home instead of a result."""
+
+    __slots__ = ("slot", "exc_type", "traceback_text")
+
+    def __init__(self, slot: int, exc_type: str, traceback_text: str) -> None:
+        self.slot = slot
+        self.exc_type = exc_type
+        self.traceback_text = traceback_text
 
 
 def set_jobs(jobs: int) -> None:
@@ -56,12 +123,13 @@ def in_worker() -> bool:
     return _IN_WORKER
 
 
-def _init_worker() -> None:
-    """Pool initializer: mark the process and drop inherited hub state.
+def mark_worker() -> None:
+    """Mark this process as a pool worker (nested maps run serially).
 
-    Under the fork start method the child inherits the parent's HUB
-    mid-run; the child must not double-collect the parent's simulators,
-    so any inherited active run is dropped before the first task.
+    Called by this module's pool initializer and by the supervisor's
+    worker main; also drops any hub run inherited from a mid-run parent
+    under the fork start method, so the child does not double-collect
+    the parent's simulators.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -69,10 +137,28 @@ def _init_worker() -> None:
         HUB.abort_run()
 
 
+def _init_worker() -> None:
+    """Pool initializer: mark the process and shield it from SIGINT.
+
+    Ctrl-C must interrupt only the parent — the parent then tears the
+    pool down deterministically — so workers ignore SIGINT instead of
+    dying mid-task with a stack trace race.
+    """
+    mark_worker()
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
 def _invoke(packed):
     """Worker body, plain mode: apply fn to one item."""
-    fn, item = packed
-    return fn(item)
+    slot, fn, item = packed
+    try:
+        return fn(item)
+    except Exception as exc:
+        return _WorkerFailure(slot, type(exc).__name__,
+                              traceback.format_exc())
 
 
 def _invoke_collecting(packed):
@@ -81,12 +167,17 @@ def _invoke_collecting(packed):
     Returns ``(result, payload)`` where payload is the picklable
     per-simulator telemetry the parent splices into its own run.
     """
-    fn, item, profile, trace = packed
+    slot, fn, item, profile, trace = packed
     if HUB.active:  # inherited via fork from a mid-run parent
         HUB.abort_run()
     HUB.start_run(profile=profile, trace=trace)
     try:
         result = fn(item)
+    except Exception as exc:
+        HUB.abort_run()
+        failure = _WorkerFailure(slot, type(exc).__name__,
+                                 traceback.format_exc())
+        return failure, None
     except BaseException:
         HUB.abort_run()
         raise
@@ -99,6 +190,18 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
         return multiprocessing.get_context()
+
+
+def _raise_first_failure(by_item: List[Any], items: List[Any],
+                         collecting: bool) -> None:
+    """Raise WorkerTaskError for the earliest failed task, if any."""
+    for slot, value in enumerate(by_item):
+        candidate = value[0] if collecting and isinstance(value, tuple) \
+            else value
+        if isinstance(candidate, _WorkerFailure):
+            raise WorkerTaskError(candidate.slot, items[candidate.slot],
+                                  candidate.exc_type,
+                                  candidate.traceback_text)
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
@@ -115,6 +218,11 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
         costs: optional per-item cost hints; when given, tasks are
             *submitted* longest-first to minimize makespan, but results
             still come back in item order.
+
+    Raises:
+        WorkerTaskError: a task raised in a worker; the error carries
+            the original traceback annotated with the task index and
+            item, and the pool is torn down before it propagates.
 
     Telemetry: with an active HUB run, tasks are bracketed in the worker
     and their collected telemetry is absorbed into the parent run in
@@ -135,20 +243,31 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
 
     collecting = HUB.active
     if collecting:
-        packed = [(fn, items[i], HUB.profiling, HUB.tracing) for i in order]
+        packed = [(i, fn, items[i], HUB.profiling, HUB.tracing)
+                  for i in order]
         worker = _invoke_collecting
     else:
-        packed = [(fn, items[i]) for i in order]
+        packed = [(i, fn, items[i]) for i in order]
         worker = _invoke
 
     ctx = _pool_context()
-    with ctx.Pool(min(n, len(items)), initializer=_init_worker) as pool:
-        raw = pool.map(worker, packed, chunksize=1)
+    pool = ctx.Pool(min(n, len(items)), initializer=_init_worker)
+    _ACTIVE_POOLS.add(pool)
+    try:
+        with pool:
+            raw = pool.map(worker, packed, chunksize=1)
+    finally:
+        # ``with`` terminated the pool on any exit path (incl. SIGINT in
+        # the parent); make sure the workers are fully reaped before we
+        # hand control back, and drop the atexit reference.
+        pool.join()
+        _ACTIVE_POOLS.discard(pool)
 
     # undo the submission reordering
     by_item: List[Any] = [None] * len(items)
     for slot, value in zip(order, raw):
         by_item[slot] = value
+    _raise_first_failure(by_item, items, collecting)
 
     if not collecting:
         return by_item

@@ -1,0 +1,109 @@
+"""Tests for the resumable sweep journal (repro.runner.checkpoint)."""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import SweepCheckpoint
+
+
+def test_roundtrip_and_reload(tmp_path):
+    directory = str(tmp_path)
+    with SweepCheckpoint(directory, run_id="campaign") as ckpt:
+        assert not ckpt.done("exp:E5")
+        ckpt.record("exp:E5", "table one\n")
+        ckpt.record("exp:E9", {"nested": [1, 2, 3], "text": "π ≈ 3.14159"})
+        assert ckpt.done("exp:E5")
+        assert len(ckpt) == 2
+
+    # a fresh instance over the same directory sees everything, verbatim
+    with SweepCheckpoint(directory, run_id="campaign") as again:
+        assert list(again.keys()) == ["exp:E5", "exp:E9"]
+        assert again.get("exp:E5") == "table one\n"
+        assert again.get("exp:E9") == {"nested": [1, 2, 3],
+                                       "text": "π ≈ 3.14159"}
+        with pytest.raises(KeyError):
+            again.get("exp:NOPE")
+
+
+def test_header_written_once(tmp_path):
+    directory = str(tmp_path)
+    with SweepCheckpoint(directory, run_id="r1"):
+        pass
+    with SweepCheckpoint(directory, run_id="r1") as ckpt:
+        ckpt.record("k", 1)
+    with open(ckpt.path) as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    assert [r["kind"] for r in records] == ["header", "cell"]
+    assert records[0]["run_id"] == "r1"
+
+
+def test_record_idempotent_for_same_key(tmp_path):
+    with SweepCheckpoint(str(tmp_path)) as ckpt:
+        ckpt.record("k", "first")
+        ckpt.record("k", "second")  # ignored: the journal is append-only
+        assert ckpt.get("k") == "first"
+    with open(ckpt.path) as handle:
+        cells = [json.loads(line) for line in handle
+                 if line.strip() and json.loads(line)["kind"] == "cell"]
+    assert len(cells) == 1
+
+
+def test_torn_tail_dropped_on_load(tmp_path):
+    directory = str(tmp_path)
+    with SweepCheckpoint(directory, run_id="r") as ckpt:
+        ckpt.record("done-cell", "payload")
+    # simulate a mid-write death: an unterminated, truncated final line
+    with open(ckpt.path, "a") as handle:
+        handle.write('{"kind": "cell", "key": "torn-ce')
+    with SweepCheckpoint(directory, run_id="r") as resumed:
+        assert resumed.dropped_torn_lines == 1
+        assert resumed.done("done-cell")
+        assert not resumed.done("torn-ce")  # the torn cell simply re-runs
+        # the journal keeps accepting records after recovery
+        resumed.record("torn-cell", "retried payload")
+    with SweepCheckpoint(directory, run_id="r") as final:
+        assert final.done("torn-cell")
+
+
+def test_corruption_before_intact_records_refused(tmp_path):
+    directory = str(tmp_path)
+    with SweepCheckpoint(directory, run_id="r") as ckpt:
+        ckpt.record("a", 1)
+    with open(ckpt.path) as handle:
+        lines = handle.readlines()
+    lines.insert(1, "NOT JSON AT ALL\n")  # corruption *followed by* a cell
+    with open(ckpt.path, "w") as handle:
+        handle.writelines(lines)
+    with pytest.raises(ValueError, match="corrupt manifest"):
+        SweepCheckpoint(directory, run_id="r")
+
+
+def test_run_id_mismatch_refused(tmp_path):
+    directory = str(tmp_path)
+    with SweepCheckpoint(directory, run_id="alpha") as ckpt:
+        ckpt.record("k", 1)
+    with pytest.raises(ValueError, match="belongs to run 'alpha'"):
+        SweepCheckpoint(directory, run_id="beta")
+    # omitting the run_id (or matching it) is fine
+    with SweepCheckpoint(directory) as anon:
+        assert anon.done("k")
+    with SweepCheckpoint(directory, run_id="alpha") as same:
+        assert same.done("k")
+
+
+def test_directory_created_if_missing(tmp_path):
+    directory = str(tmp_path / "deep" / "nested")
+    with SweepCheckpoint(directory, run_id="r") as ckpt:
+        ckpt.record("k", "v")
+    assert os.path.exists(os.path.join(directory, "manifest.jsonl"))
+
+
+def test_records_survive_without_close(tmp_path):
+    # fsync-per-record means a never-closed handle loses nothing
+    ckpt = SweepCheckpoint(str(tmp_path), run_id="r")
+    ckpt.record("k", "v")
+    with SweepCheckpoint(str(tmp_path), run_id="r") as other:
+        assert other.get("k") == "v"
+    ckpt.close()

@@ -116,3 +116,71 @@ def test_telemetry_off_output_unchanged(tmp_path, capsys):
     # telemetry sections before the closing "done in" line
     plain_table = plain.split("[E16 done")[0]
     assert collected.startswith(plain_table)
+
+
+# -- robustness flags (PR 4) ------------------------------------------------
+
+
+def test_flag_validation_errors():
+    with pytest.raises(SystemExit):
+        main(["E12", "--retries", "-1"])
+    with pytest.raises(SystemExit):
+        main(["E12", "--task-timeout", "0"])
+    with pytest.raises(SystemExit):
+        main(["E12", "--jobs", "0"])
+
+
+def test_resume_refuses_telemetry_flags(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["E12", "--resume", str(tmp_path), "--profile"])
+    with pytest.raises(SystemExit):
+        main(["E12", "--resume", str(tmp_path),
+              "--metrics-out", str(tmp_path / "m.csv")])
+
+
+def test_exp_arg_validation(tmp_path):
+    with pytest.raises(SystemExit):  # needs exactly one experiment
+        main(["E12", "E13", "--exp-arg", "invariants=True"])
+    with pytest.raises(SystemExit):  # malformed KEY=VAL
+        main(["E12", "--exp-arg", "justakey"])
+    with pytest.raises(SystemExit):  # incompatible with supervision
+        main(["E16", "--exp-arg", "invariants=True", "--retries", "1"])
+
+
+def test_exp_arg_unknown_keyword_fails_loudly():
+    with pytest.raises(TypeError):
+        main(["E12", "--exp-arg", "no_such_kwarg=1"])
+
+
+def test_supervised_run_output_matches_serial(capsys):
+    assert main(["E12", "E13"]) == 0
+    serial = _strip_wall_times(capsys.readouterr().out)
+    assert main(["E12", "E13", "--jobs", "2", "--retries", "1",
+                 "--task-timeout", "300"]) == 0
+    supervised = _strip_wall_times(capsys.readouterr().out)
+    assert supervised == serial
+
+
+def test_resume_replays_byte_identical(tmp_path, capsys):
+    run_dir = str(tmp_path / "ckpt")
+    assert main(["E12", "E13"]) == 0
+    reference = _strip_wall_times(capsys.readouterr().out)
+
+    assert main(["E12", "E13", "--resume", run_dir]) == 0
+    first = capsys.readouterr()
+    assert _strip_wall_times(first.out) == reference
+
+    # second run replays every experiment from the journal; the tables
+    # are byte-identical and the resume notice goes to stderr only
+    assert main(["E12", "E13", "--resume", run_dir]) == 0
+    second = capsys.readouterr()
+    assert _strip_wall_times(second.out) == reference
+    assert "[resume: 2 experiment(s) replayed" in second.err
+
+
+def test_chaos_scenario_exp_args_run_e16(capsys):
+    assert main(["E16", "--exp-arg", "scenario=flapping-backhaul",
+                 "--exp-arg", "invariants=True"]) == 0
+    out = capsys.readouterr().out
+    assert "flapping-backhaul" in out
+    assert "min_reach" in out

@@ -426,3 +426,75 @@ def test_expired_grants_invisible_to_discovery():
     sim.run(until=11.0)
     assert neighbors == []  # apB's lapsed grant is not discoverable
     assert sas.active_grants == 1
+
+
+# -- injector edge cases (PR 4) -----------------------------------------------------
+
+
+def test_overlapping_cuts_on_same_link_heal_after_last_window():
+    # two link-down windows overlap on the SAME link: the inner window's
+    # heal must not resurrect a link the outer window still holds down
+    sim = Simulator(0)
+    link = Link(sim, rate_bps=1e6, delay_s=0, name="shared")
+    link.connect(lambda p: None)
+    injector = FaultInjector(sim)
+    injector.link_down(link, at_s=1.0, duration_s=4.0)  # cut 1.0 .. 5.0
+    injector.link_down(link, at_s=2.0, duration_s=1.0)  # cut 2.0 .. 3.0
+    sim.run(until=2.5)
+    assert not link.up
+    sim.run(until=3.5)
+    assert not link.up  # the inner heal fired; the outer cut still holds
+    sim.run(until=5.5)
+    assert link.up  # only the last heal raises the link
+
+
+def test_flap_overlapping_a_cut_cannot_resurrect_the_link():
+    sim = Simulator(0)
+    link = Link(sim, rate_bps=1e6, delay_s=0, name="contested")
+    link.connect(lambda p: None)
+    injector = FaultInjector(sim)
+    injector.link_down(link, at_s=0.5, duration_s=6.0)  # cut 0.5 .. 6.5
+    injector.link_flap(link, at_s=1.0, down_s=0.5, up_s=0.5, cycles=2)
+    # every flap "up" phase lands inside the long cut: stay down
+    for probe in (1.25, 1.75, 2.25, 2.75, 4.0):
+        sim.run(until=probe)
+        assert not link.up
+    sim.run(until=7.0)
+    assert link.up
+
+
+def test_restart_mid_backoff_lets_the_pending_retry_succeed():
+    sim = Simulator(6)
+    registry, ue = _published_ue(sim, "999010000000006")
+    stub, enb = _stub(sim, registry)
+    _wire_air(sim, ue, enb)
+    stub.crash()
+    ue.start_attach_with_retry(timeout_s=0.5, base_backoff_s=2.0)
+    # attempt 1 times out at ~0.5 and the supervisor sleeps until ~2.5;
+    # the restart lands in the middle of that backoff window
+    sim.at(1.5, stub.restart)
+    sim.run(until=10.0)
+    assert ue.state is UeState.ATTACHED
+    assert ue.attach_attempts == 2  # exactly the pending retry, no extras
+    assert ue.attach_retries_exhausted == 0
+
+
+def test_lease_lapsing_exactly_at_the_renewal_tick_is_too_late():
+    sim = Simulator(12)
+    sas = SasRegistry(sim, lease_s=2.0)
+    got = []
+    sas.request_grant(_record("apZ"), got.append)
+    sim.run(until=1.0)
+    grant = got[0]
+    assert grant is not None and grant.expires_at is not None
+    # a lease is over AT its expiry instant (strict <) ...
+    assert grant.active_at(grant.expires_at - 1e-9)
+    assert not grant.active_at(grant.expires_at)
+    # ... so a renewal landing exactly on the tick must be refused:
+    # time the heartbeat so _renew executes precisely at expiry
+    answers = []
+    lead = sas.rtt_s + sas.processing_s
+    sim.at(grant.expires_at - lead, sas.heartbeat, "apZ", answers.append)
+    sim.run(until=grant.expires_at + 1.0)
+    assert answers == [None]  # lapsed: must re-register, not renew
+    assert sas.heartbeats_served == 0
