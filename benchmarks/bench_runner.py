@@ -72,6 +72,10 @@ SPECS: List[Spec] = [
     Spec("E4-weak-signal", "E4", repeats=5),
     Spec("E7-small", "E7", {"ap_counts": [1, 8, 32]}, repeats=3,
          seeded=True),
+    # one larger datapath cell: a single 64-AP town at double UE density
+    # (~10x the control traffic of E7-small's biggest point)
+    Spec("E7-town", "E7", {"ap_counts": [64], "ue_per_ap": 16}, repeats=1,
+         seeded=True),
     Spec("E13-paging", "E13", repeats=3, seeded=True),
     Spec("E16-small", "E16", {"n_aps": 3, "n_ues": 8}, repeats=5,
          seeded=True),
@@ -109,14 +113,31 @@ def _nop() -> None:
     return None
 
 
-def _time_call(fn: Callable[[], object], repeats: int) -> float:
-    """Best-of-N wall time; best-of suppresses scheduler noise."""
+def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
+    """Best-of-N wall time plus the run's heap high-water mark.
+
+    Each repeat is bracketed with a telemetry-hub run so every simulator
+    the workload builds is collected; the hub hands back the max
+    ``Simulator.heap_high_water``, which the report tracks alongside
+    wall time (heap hygiene is a perf property too — see
+    PERFORMANCE.md). Collection is passive (no profiler, no tracer) and
+    the bookkeeping happens outside the timed window.
+    """
+    from repro.telemetry.hub import HUB
+
     best = float("inf")
+    heap_hwm = 0
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        HUB.start_run()
+        try:
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        except BaseException:
+            HUB.abort_run()
+            raise
+        heap_hwm = max(heap_hwm, HUB.finish_run().heap_high_water)
+    return best, heap_hwm
 
 
 def _run_suite(ids: List[str], jobs: int) -> float:
@@ -147,13 +168,14 @@ def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
     print(f"  calibration: {calibration_s * 1e3:.1f} ms / 50k events")
     results: Dict[str, Dict[str, float]] = {}
     for spec in specs:
-        wall = _time_call(spec.build_call(), spec.repeats)
+        wall, heap_hwm = _time_call(spec.build_call(), spec.repeats)
         results[spec.name] = {
             "wall_s": round(wall, 4),
             "normalized": round(wall / calibration_s, 3),
+            "heap_hwm": heap_hwm,
         }
         print(f"  {spec.name:<20} {wall:8.3f} s   "
-              f"({wall / calibration_s:8.2f}x cal)")
+              f"({wall / calibration_s:8.2f}x cal, heap hwm {heap_hwm})")
     report: Dict[str, object] = {
         "date": time.strftime("%Y-%m-%d"),
         "quick": quick,

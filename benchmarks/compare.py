@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff two benchmark reports cell by cell.
+
+Reads two ``BENCH_*.json`` files (see ``bench_runner.py``) and prints a
+per-cell table of calibration-normalized times with absolute and
+relative deltas, so "what actually got faster (or slower), and by how
+much" is one command instead of eyeballing JSON::
+
+    python benchmarks/compare.py benchmarks/BENCH_old.json \
+        benchmarks/BENCH_new.json
+
+Normalized times (wall / calibration) are the comparable quantity
+across machines; raw wall seconds are shown for context only. Cells
+present in just one report are listed but not scored. Exits non-zero
+only on malformed input — this is a reporting tool, the pass/fail gate
+is ``bench_runner.py --check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load one BENCH_*.json, validating the fields compare needs."""
+    with open(path) as fh:
+        report = json.load(fh)
+    if "results" not in report or not isinstance(report["results"], dict):
+        raise ValueError(f"{path}: not a bench report (no 'results' map)")
+    return report
+
+
+def compare_rows(old: Dict[str, object],
+                 new: Dict[str, object]) -> List[Dict[str, object]]:
+    """One row per cell in either report, ordered old-report-first.
+
+    Each row has ``name``, ``old``/``new`` (normalized, None when
+    absent), ``old_wall``/``new_wall``, ``ratio`` (new/old) and
+    ``speedup`` (old/new) when both sides are present, plus optional
+    ``old_hwm``/``new_hwm`` heap high-water marks.
+    """
+    old_results: Dict[str, dict] = old["results"]  # type: ignore[assignment]
+    new_results: Dict[str, dict] = new["results"]  # type: ignore[assignment]
+    names = list(old_results) + [n for n in new_results if n not in old_results]
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        a = old_results.get(name)
+        b = new_results.get(name)
+        row: Dict[str, object] = {
+            "name": name,
+            "old": a["normalized"] if a else None,
+            "new": b["normalized"] if b else None,
+            "old_wall": a["wall_s"] if a else None,
+            "new_wall": b["wall_s"] if b else None,
+            "old_hwm": a.get("heap_hwm") if a else None,
+            "new_hwm": b.get("heap_hwm") if b else None,
+            "ratio": None,
+            "speedup": None,
+        }
+        if a and b and a["normalized"] > 0:
+            row["ratio"] = b["normalized"] / a["normalized"]
+            if b["normalized"] > 0:
+                row["speedup"] = a["normalized"] / b["normalized"]
+        rows.append(row)
+    return rows
+
+
+def _fmt(value: Optional[float], width: int, places: int = 2) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:{width}.{places}f}"
+
+
+def _fmt_hwm(value: Optional[int]) -> str:
+    return "-" if value is None else str(value)
+
+
+def render(rows: List[Dict[str, object]], old_path: str,
+           new_path: str) -> str:
+    """Human-readable diff table."""
+    lines = [
+        f"bench diff: {old_path} -> {new_path}",
+        f"  {'cell':<20} {'old':>8} {'new':>8} {'ratio':>7} "
+        f"{'speedup':>8}  {'wall old->new':>16}  heap hwm",
+    ]
+    for row in rows:
+        ratio = row["ratio"]
+        note = ""
+        if row["old"] is None or row["new"] is None:
+            note = "  (only in one report)"
+        elif ratio is None:
+            note = "  (too fast to compare)"
+        wall = (f"{_fmt(row['old_wall'], 7, 3)}->"
+                f"{_fmt(row['new_wall'], 7, 3)}")
+        hwm = f"{_fmt_hwm(row['old_hwm'])}->{_fmt_hwm(row['new_hwm'])}"
+        lines.append(
+            f"  {row['name']:<20} {_fmt(row['old'], 8)} {_fmt(row['new'], 8)} "
+            f"{_fmt(ratio, 7)} {_fmt(row['speedup'], 8)}  {wall:>16}  "
+            f"{hwm}{note}")
+    scored = [r for r in rows if r["ratio"] is not None]
+    if scored:
+        faster = sum(1 for r in scored if r["ratio"] < 0.99)
+        slower = sum(1 for r in scored if r["ratio"] > 1.01)
+        lines.append(f"  {len(scored)} comparable cells: {faster} faster, "
+                     f"{slower} slower, {len(scored) - faster - slower} "
+                     f"within 1%")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    args = parser.parse_args(argv)
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    print(render(compare_rows(old, new), args.old, args.new))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

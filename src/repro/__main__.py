@@ -111,7 +111,8 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
         print()
         print(f"[{exp_id} profile: {prof.events:,} events in "
               f"{prof.wall_s:.3f} s wall "
-              f"({prof.events_per_sec:,.0f} events/s)]")
+              f"({prof.events_per_sec:,.0f} events/s, "
+              f"heap high-water {run.heap_high_water})]")
         print(prof.hot_path_table().render())
         category_table = prof.category_table()
         if category_table.rows:

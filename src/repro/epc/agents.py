@@ -22,7 +22,7 @@ from collections import deque
 from repro.simcore.simulator import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage:
     """Envelope: a NAS/S1AP/GTP-C payload plus reply routing."""
 
@@ -60,21 +60,26 @@ class ControlAgent:
     def enqueue(self, message: ControlMessage) -> None:
         """Accept an inbound message (called by channels)."""
         message.queued_at = self.sim.now
-        self._queue.append(message)
-        self.peak_queue_depth = max(self.peak_queue_depth, len(self._queue))
-        self._m_queue.set(len(self._queue))
+        queue = self._queue
+        queue.append(message)
+        depth = len(queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        self._m_queue.set(depth)
         if not self._busy:
             self._serve_next()
 
     def _serve_next(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             self._busy = False
             return
         self._busy = True
-        message = self._queue.popleft()
-        self._m_queue.set(len(self._queue))
-        self._m_wait.observe(self.sim.now - message.queued_at)
-        self.sim.schedule(self.service_time_s, self._finish, message)
+        message = queue.popleft()
+        self._m_queue.set(len(queue))
+        sim = self.sim
+        self._m_wait.observe(sim.now - message.queued_at)
+        sim.post_at(sim.now + self.service_time_s, self._finish, message)
 
     def _finish(self, message: ControlMessage) -> None:
         self.busy_time_s += self.service_time_s
@@ -158,9 +163,10 @@ class ControlChannel:
         self.bytes += size
         self._m_messages.inc()
         self._m_bytes.inc(size)
+        sim = self.sim
         message = ControlMessage(payload=payload, sender=sender,
-                                 sent_at=self.sim.now)
-        self.sim.schedule(self.one_way_delay_s, receiver.enqueue, message)
+                                 sent_at=sim.now)
+        sim.post_at(sim.now + self.one_way_delay_s, receiver.enqueue, message)
 
 
 class CallbackAgent(ControlAgent):

@@ -21,6 +21,7 @@ Implemented policies:
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Sequence
@@ -134,21 +135,43 @@ class ProportionalFairScheduler(LteScheduler):
 
     PRBs are granted greedily one at a time; the in-TTI grant count feeds
     back into the metric so one TTI already spreads PRBs when averages tie.
+
+    Granting a PRB only lowers the winner's own metric (``inst / (avg +
+    n*inst)`` is decreasing in ``n``) and touches nobody else's, so the
+    argmax scan over all users per PRB is replaced by a heap: pop the
+    winner, grant, re-push with its updated metric — O(log U) per PRB
+    instead of O(U) closure calls, with identical float arithmetic. Heap
+    entries are ``(-metric, rank)`` where rank ascends in *descending*
+    ``user_id`` order, replicating ``max(..., key=(metric, user_id))``
+    tie-breaking exactly (this is the F1/E7 radio-phase hot path).
     """
 
     def _assign(self, users: List[SchedulableUser],
                 prbs: List[int]) -> Dict[str, List[int]]:
         grants: Dict[str, List[int]] = {u.user_id: [] for u in users}
         floor = 1e3  # avoids div-by-zero for new users, biases toward them
+        avg_map = self._avg_rate_bps
+        order = sorted(users, key=lambda u: u.user_id, reverse=True)
+        insts: List[float] = []
+        avgs: List[float] = []
+        lists: List[List[int]] = []
+        entries: List = []
+        for rank, user in enumerate(order):
+            inst = bits_per_prb(user.efficiency) * 1e3
+            avg = max(avg_map.get(user.user_id, 0.0), floor)
+            insts.append(inst)
+            avgs.append(avg)
+            lists.append(grants[user.user_id])
+            entries.append((-(inst / (avg + 0.0)), rank))
+        heapq.heapify(entries)
+        pop = heapq.heappop
+        push = heapq.heappush
         for prb in prbs:
-            def metric(user: SchedulableUser) -> float:
-                inst = bits_per_prb(user.efficiency) * 1e3
-                avg = max(self._avg_rate_bps.get(user.user_id, 0.0), floor)
-                in_tti = len(grants[user.user_id]) * inst
-                return inst / (avg + in_tti)
-
-            best = max(users, key=lambda u: (metric(u), u.user_id))
-            grants[best.user_id].append(prb)
+            _neg, rank = pop(entries)
+            granted = lists[rank]
+            granted.append(prb)
+            inst = insts[rank]
+            push(entries, (-(inst / (avgs[rank] + len(granted) * inst)), rank))
         return grants
 
 

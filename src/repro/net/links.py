@@ -12,14 +12,29 @@ drops drawn from the link's own named RNG stream, so a run stays
 reproducible from the seed). Drops are accounted *by cause* —
 ``dropped_overflow`` vs ``dropped_down`` vs ``dropped_loss`` — so
 congestion can be told apart from failure.
+
+Datapath fast lane (see PERFORMANCE.md): the link no longer schedules
+two heap events per packet (serialization done + delivery). Because the
+propagation delay is a per-link constant and serialization completions
+are monotone, deliveries happen in send order — so a busy link keeps a
+single live wake-up event aimed at the head of its in-flight deque and
+drains every delivery that is due when it fires. Service completions
+are pure float arithmetic (``done += tx``; ``deliver = done + delay``),
+identical to the times the old per-event chain produced, and queued
+packets are promoted into service *lazily* whenever the link is
+touched. Net effect: one heap event per busy period segment instead of
+two per packet, with byte-identical delivery times.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.simcore.simulator import Simulator
+
+_INF = float("inf")
 
 
 class Link:
@@ -48,8 +63,18 @@ class Link:
         self.queue_packets = queue_packets
         self.name = name
         self.receiver: Optional[Callable[[Packet], None]] = None
-        self._queue: list = []
-        self._busy = False
+        #: packets waiting for the serializer (the drop-tail queue)
+        self._egress: Deque[Packet] = deque()
+        #: serialized packets in propagation: (deliver_at, packet),
+        #: deliver_at monotone because delay is a per-link constant
+        self._flight: Deque[Tuple[float, Packet]] = deque()
+        #: when the packet currently in service finishes serializing;
+        #: the link is busy iff this is in the future
+        self._service_done = 0.0
+        #: True while the one live wake-up event (aimed at the flight
+        #: head's delivery) is queued; wake-ups are never cancelled, so
+        #: they ride the simulator's handle-free fast path
+        self._wakeup = False
         # fault state
         self.up = True
         self.loss_rate = 0.0
@@ -65,6 +90,9 @@ class Link:
         self.dropped_down = 0
         self.dropped_loss = 0
         self.bytes_sent = 0
+        #: the link's own loss stream, fetched once instead of a
+        #: per-send f-string + registry lookup
+        self._loss_rng = sim.rng(f"link-loss:{name}")
         # telemetry instruments, fetched once so the hot path is an
         # attribute access plus an integer add
         metrics = sim.metrics
@@ -83,7 +111,9 @@ class Link:
     @property
     def queue_depth(self) -> int:
         """Packets currently waiting (excludes the one being serialized)."""
-        return len(self._queue)
+        if self._egress and self._service_done <= self.sim.now:
+            self._advance(self.sim.now)
+        return len(self._egress)
 
     # -- fault state -------------------------------------------------------
 
@@ -93,14 +123,19 @@ class Link:
             return
         self.up = up
         self.sim.trace("fault", f"link {self.name} {'up' if up else 'down'}")
-        if not up and self._queue:
-            lost = len(self._queue)
-            self._queue.clear()
-            self.dropped += lost
-            self.dropped_down += lost
-            self.in_flight -= lost
-            self._m_drops["down"].inc(lost)
-            self._m_queue.set(0)
+        if not up:
+            # promote first: a serialization that already started stays
+            # in flight and is dropped at its delivery time, exactly as
+            # the old per-event chain behaved
+            self._advance(self.sim.now)
+            if self._egress:
+                lost = len(self._egress)
+                self._egress.clear()
+                self.dropped += lost
+                self.dropped_down += lost
+                self.in_flight -= lost
+                self._m_drops["down"].inc(lost)
+                self._m_queue.set(0)
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Set the per-packet drop probability (0 disables loss)."""
@@ -130,44 +165,69 @@ class Link:
         self.offered += 1
         if not self.up:
             return self._drop("down")
-        if self.loss_rate > 0.0 and (self.sim.rng(f"link-loss:{self.name}")
-                                     .random() < self.loss_rate):
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
             return self._drop("loss")
-        if self._busy:
-            if len(self._queue) >= self.queue_packets:
+        now = self.sim.now
+        if self._egress and self._service_done <= now:
+            self._advance(now)
+        if self._service_done > now:  # serializer busy: join the queue
+            egress = self._egress
+            if len(egress) >= self.queue_packets:
                 return self._drop("overflow")
-            self._queue.append(packet)
+            egress.append(packet)
             self.in_flight += 1
-            self._m_queue.set(len(self._queue))
+            self._m_queue.set(len(egress))
             return True
         self.in_flight += 1
-        self._serialize(packet)
+        self._start_service(now, packet)
         return True
 
-    def _serialize(self, packet: Packet) -> None:
-        self._busy = True
-        tx_time = (packet.size_bytes * 8.0 / self.rate_bps
-                   if self.rate_bps != float("inf") else 0.0)
-        self.sim.schedule(tx_time, self._transmitted, packet)
+    def _start_service(self, start: float, packet: Packet) -> None:
+        """Begin serializing ``packet`` at ``start`` and push its flight.
 
-    def _transmitted(self, packet: Packet) -> None:
-        self.bytes_sent += packet.size_bytes
-        self._m_bytes.inc(packet.size_bytes)
-        self.sim.schedule(self.delay_s, self._deliver, packet)
-        if self._queue:
-            self._serialize(self._queue.pop(0))
-            self._m_queue.set(len(self._queue))
-        else:
-            self._busy = False
+        The float chain (``done = start + tx``, ``deliver = done +
+        delay``) reproduces the exact timestamps the old
+        serialize/transmitted/deliver event pair computed.
+        """
+        size = packet.size_bytes
+        rate = self.rate_bps
+        done = start + (size * 8.0 / rate if rate != _INF else 0.0)
+        self._service_done = done
+        self.bytes_sent += size
+        self._m_bytes.inc(size)
+        flight = self._flight
+        flight.append((done + self.delay_s, packet))
+        if not self._wakeup:
+            self._wakeup = True
+            self.sim.post_at(flight[0][0], self._drain)
 
-    def _deliver(self, packet: Packet) -> None:
-        self.in_flight -= 1
-        if not self.up:
-            self._drop("down")  # cut mid-flight
-            return
-        self.delivered += 1
-        self._m_delivered.inc()
-        self.receiver(packet)
+    def _advance(self, now: float) -> None:
+        """Promote queued packets whose service has started by ``now``."""
+        egress = self._egress
+        while egress and self._service_done <= now:
+            packet = egress.popleft()
+            self._start_service(self._service_done, packet)
+            self._m_queue.set(len(egress))
+
+    def _drain(self) -> None:
+        """Wake-up event: hand over every delivery that is due."""
+        self._wakeup = False
+        now = self.sim.now
+        flight = self._flight
+        receiver = self.receiver
+        while flight and flight[0][0] <= now:
+            _at, packet = flight.popleft()
+            self.in_flight -= 1
+            if not self.up:
+                self._drop("down")  # cut mid-flight
+                continue
+            self.delivered += 1
+            self._m_delivered.inc()
+            receiver(packet)
+        self._advance(now)
+        if flight and not self._wakeup:
+            self._wakeup = True
+            self.sim.post_at(flight[0][0], self._drain)
 
     def __repr__(self) -> str:
         rate = ("inf" if self.rate_bps == float("inf")

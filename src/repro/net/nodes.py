@@ -140,7 +140,8 @@ class Router(NetworkNode):
         if packet.dst in self.local_addresses and self.local_handler:
             self.local_handler(packet)
             return
-        self.sim.schedule(self.forwarding_delay_s, self._forward, packet)
+        sim = self.sim
+        sim.post_at(sim.now + self.forwarding_delay_s, self._forward, packet)
 
     def _forward(self, packet: Packet) -> None:
         if packet.dst is None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.net.addressing import IPv4Address
@@ -15,9 +15,19 @@ UDP_HEADER_BYTES = 8
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+def _next_packet_id() -> int:
+    return next(_packet_ids)
+
+
+@dataclass(slots=True)
 class Packet:
     """A simulated IP datagram.
+
+    Slotted and lazily listed: ``hops`` and ``encap_stack`` start as
+    ``None`` and materialise on first use, because the transport fast
+    path creates millions of packets that never traverse a recorded
+    node or a tunnel — two list allocations per packet for nothing
+    (see PERFORMANCE.md).
 
     Attributes:
         src / dst: IP endpoints. Tunnels rewrite these and stash the
@@ -29,8 +39,10 @@ class Packet:
         payload: opaque application/control content (e.g. a NAS message).
         created_at: simulated birth time, for latency accounting.
         hops: network nodes traversed, appended by the forwarding engine —
-            this is how F1 reports path length.
+            this is how F1 reports path length. ``None`` until the first
+            hop is recorded.
         encap_stack: saved (src, dst, size) frames pushed by tunnels.
+            ``None`` until the first encapsulation.
     """
 
     src: Optional[IPv4Address]
@@ -40,28 +52,99 @@ class Packet:
     seq: int = 0
     payload: Any = None
     created_at: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    hops: List[str] = field(default_factory=list)
-    encap_stack: List[Dict[str, Any]] = field(default_factory=list)
+    packet_id: int = 0
+    hops: Optional[List[str]] = None
+    encap_stack: Optional[List[Dict[str, Any]]] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+        if self.packet_id == 0:
+            self.packet_id = next(_packet_ids)
 
     @property
     def hop_count(self) -> int:
         """Number of forwarding nodes traversed so far."""
-        return len(self.hops)
+        hops = self.hops
+        return len(hops) if hops is not None else 0
 
     @property
     def tunnel_depth(self) -> int:
         """How many encapsulation layers are currently on the packet."""
-        return len(self.encap_stack)
+        stack = self.encap_stack
+        return len(stack) if stack is not None else 0
 
     def record_hop(self, node_name: str) -> None:
         """Append a traversed node (called by the forwarding engine)."""
-        self.hops.append(node_name)
+        hops = self.hops
+        if hops is None:
+            hops = self.hops = []
+        hops.append(node_name)
 
     def age(self, now: float) -> float:
         """Seconds since the packet was created."""
         return now - self.created_at
+
+
+class PacketPool:
+    """A free-list of :class:`Packet` objects for the datapath fast lane.
+
+    Transport segments are born and die within one round trip; at
+    steady state a flow churns through packets as fast as the event
+    loop can carry them. The pool recycles the object shells so the
+    fast path skips the dataclass ``__init__``/``__post_init__`` and
+    the allocator. Recycled packets get a **fresh** ``packet_id`` so
+    identity-based bookkeeping can never confuse two lives of the same
+    shell.
+
+    Lifecycle contract (see PERFORMANCE.md): only the owner that
+    acquired a packet may release it, exactly once, and only when no
+    other component can still hold a reference — the transport layer
+    releases data/ack segments after the receive handler returns, and
+    never releases handshake packets or anything it stashed.
+    """
+
+    __slots__ = ("_free", "capacity", "acquired", "recycled")
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._free: List[Packet] = []
+        self.capacity = capacity
+        self.acquired = 0
+        self.recycled = 0
+
+    def acquire(self, src: Optional[IPv4Address], dst: Optional[IPv4Address],
+                size_bytes: int, flow_id: str = "", seq: int = 0,
+                payload: Any = None, created_at: float = 0.0) -> Packet:
+        """A fresh-looking packet, recycled when the free list allows."""
+        self.acquired += 1
+        free = self._free
+        if not free:
+            return Packet(src=src, dst=dst, size_bytes=size_bytes,
+                          flow_id=flow_id, seq=seq, payload=payload,
+                          created_at=created_at)
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.recycled += 1
+        packet = free.pop()
+        packet.src = src
+        packet.dst = dst
+        packet.size_bytes = size_bytes
+        packet.flow_id = flow_id
+        packet.seq = seq
+        packet.payload = payload
+        packet.created_at = created_at
+        packet.packet_id = _next_packet_id()
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return a dead packet's shell to the free list."""
+        free = self._free
+        if len(free) >= self.capacity:
+            return
+        packet.payload = None
+        packet.hops = None
+        packet.encap_stack = None
+        free.append(packet)
+
+    def __len__(self) -> int:
+        return len(self._free)

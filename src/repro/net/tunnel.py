@@ -76,7 +76,10 @@ class TunnelEndpoint:
         tunnel = self._by_teid.get(teid)
         if tunnel is None:
             raise KeyError(f"no tunnel with TEID {teid} at {self.address}")
-        packet.encap_stack.append({
+        stack = packet.encap_stack
+        if stack is None:
+            stack = packet.encap_stack = []
+        stack.append({
             "src": packet.src, "dst": packet.dst, "teid": teid,
         })
         packet.src = tunnel.local_addr

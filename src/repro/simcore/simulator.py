@@ -13,17 +13,29 @@ from repro.telemetry.hub import HUB
 
 
 class ScheduledCall:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "cancelled")
+    Cancellation is lazy: the heap entry stays queued and is skipped at
+    dispatch. The owning simulator counts cancelled-but-queued entries
+    and compacts the heap when they dominate (see
+    :meth:`Simulator.live_queue_length`), so timer churn — arm, cancel,
+    re-arm, the RTO pattern — cannot grow the heap or tax ``heappop``
+    with log-N passes over garbage.
+    """
 
-    def __init__(self, time: float) -> None:
+    __slots__ = ("time", "cancelled", "_sim")
+
+    def __init__(self, time: float, sim: "Optional[Simulator]" = None) -> None:
         self.time = time
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already run)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -43,6 +55,11 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.events_executed = 0
+        #: cancelled entries still sitting in the heap (heap hygiene)
+        self._cancelled = 0
+        #: most entries the heap ever held at once — the memory/log-N
+        #: footprint of a run; exported by the profiler and bench JSON
+        self.heap_high_water = 0
         self._tracer = None
         self._profiler = None
         #: True iff a tracer or profiler is installed — the one flag the
@@ -110,9 +127,51 @@ class Simulator:
         """Run ``fn(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        handle = ScheduledCall(time)
-        heapq.heappush(self._heap, (time, next(self._seq), handle, fn, args))
+        handle = ScheduledCall(time, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, next(self._seq), handle, fn, args))
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
         return handle
+
+    def post_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: no cancellation handle is created.
+
+        Hot paths that never cancel — link drains, agent service
+        completions, router forwarding — account for almost every event
+        in the packet-level experiments, and the per-event
+        :class:`ScheduledCall` allocation was measurable there. The heap
+        entry carries ``None`` in the handle slot and dispatch treats it
+        as live. Unlike :meth:`at` the ``time >= now`` precondition is
+        not validated; callers must guarantee it.
+        """
+        heap = self._heap
+        heapq.heappush(heap, (time, next(self._seq), None, fn, args))
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
+
+    # -- heap hygiene -------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """One queued entry was cancelled; compact when garbage dominates.
+
+        Compaction drops cancelled entries and re-heapifies in place.
+        Entries keep their original ``(time, seq)`` keys, so the pop
+        order of live events — and therefore same-time FIFO semantics —
+        is untouched.
+        """
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled > 64 and self._cancelled * 2 > len(heap):
+            heap[:] = [entry for entry in heap
+                       if entry[2] is None or not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
+
+    @property
+    def live_queue_length(self) -> int:
+        """Queued entries that will actually run (excludes cancelled)."""
+        return len(self._heap) - self._cancelled
 
     def call_soon(self, fn: Callable, *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at the current time, after pending same-time work."""
@@ -149,7 +208,8 @@ class Simulator:
         heap = self._heap
         while heap:
             time, _seq, handle, fn, args = heapq.heappop(heap)
-            if handle.cancelled:
+            if handle is not None and handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             self.events_executed += 1
@@ -188,7 +248,8 @@ class Simulator:
                 if bounded and executed >= max_events:
                     break
                 time, _seq, handle, fn, args = heappop(heap)
-                if handle.cancelled:
+                if handle is not None and handle.cancelled:
+                    self._cancelled -= 1
                     continue
                 self.now = time
                 self.events_executed += 1

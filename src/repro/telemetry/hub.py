@@ -37,11 +37,15 @@ class RunTelemetry:
     def __init__(self, registries: List[Tuple[str, MetricsRegistry]],
                  span_trackers: List[Tuple[str, Any]],
                  tracers: List[Tuple[str, Any]],
-                 profiler: Optional[RunProfiler]) -> None:
+                 profiler: Optional[RunProfiler],
+                 heap_high_water: int = 0) -> None:
         self.registries = registries
         self.span_trackers = span_trackers
         self.tracers = tracers
         self.profiler = profiler
+        #: largest run-queue footprint any collected simulator reached
+        #: (max over sims of ``Simulator.heap_high_water``)
+        self.heap_high_water = heap_high_water
 
     def metrics_rows(self) -> List[dict]:
         """Tagged snapshot rows across every collected registry."""
@@ -65,12 +69,14 @@ class WorkerSimTelemetry:
     simulators and parent-process simulators merge identically.
     """
 
-    __slots__ = ("telemetry", "tracer", "profiler")
+    __slots__ = ("telemetry", "tracer", "profiler", "heap_high_water")
 
-    def __init__(self, telemetry: Any, tracer: Any, profiler: Any) -> None:
+    def __init__(self, telemetry: Any, tracer: Any, profiler: Any,
+                 heap_high_water: int = 0) -> None:
         self.telemetry = telemetry
         self.tracer = tracer
         self.profiler = profiler
+        self.heap_high_water = heap_high_water
 
 
 class TelemetryHub:
@@ -136,6 +142,7 @@ class TelemetryHub:
         tracers: List[Tuple[str, Any]] = []
         profiler: Optional[RunProfiler] = \
             RunProfiler() if self._profile else None
+        heap_high_water = 0
         for index, sim in enumerate(self._sims):
             tag = f"s{index}"
             registries.append((tag, sim.telemetry.metrics))
@@ -144,13 +151,17 @@ class TelemetryHub:
                 tracers.append((tag, sim.tracer))
             if profiler is not None and sim.profiler is not None:
                 profiler.merge(sim.profiler)
+            hwm = getattr(sim, "heap_high_water", 0)
+            if hwm > heap_high_water:
+                heap_high_water = hwm
         if len(self._shared):
             registries.append(("shared", self._shared))
         for index, registry in enumerate(self._worker_shared):
             registries.append((f"shared-w{index}", registry))
         self._sims = []
         self._worker_shared = []
-        return RunTelemetry(registries, span_trackers, tracers, profiler)
+        return RunTelemetry(registries, span_trackers, tracers, profiler,
+                            heap_high_water)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
@@ -171,7 +182,8 @@ class TelemetryHub:
             raise RuntimeError("no telemetry run is active")
         payload = {
             "sims": [WorkerSimTelemetry(sim.telemetry, sim.tracer,
-                                        sim.profiler)
+                                        sim.profiler,
+                                        getattr(sim, "heap_high_water", 0))
                      for sim in self._sims],
             "shared": self._shared if len(self._shared) else None,
         }

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Optional
 
 from repro.net.addressing import IPv4Address
 from repro.net.nodes import Host
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketPool
 from repro.simcore.simulator import ScheduledCall, Simulator
 
 #: Maximum segment size (application bytes per data segment).
@@ -34,6 +34,14 @@ MIN_RTO_S = 0.2
 MAX_RTO_S = 30.0
 
 _conn_ids = itertools.count(1)
+
+#: Process-wide free list for segment shells. Transport segments live
+#: exactly one network traversal: emitted here, consumed by the peer's
+#: ``on_segment``, which releases data/ack shells back after the
+#: handler returns. Handshake segments are never recycled (listeners
+#: and subclasses may keep them), and recycling affects object identity
+#: only — never simulation results (see PERFORMANCE.md).
+_SEGMENT_POOL = PacketPool(capacity=1024)
 
 
 class ConnectionState(enum.Enum):
@@ -134,7 +142,14 @@ class TransportConnection:
         self._sent_sizes: Dict[int, int] = {}   # seq -> app bytes
         self._sent_times: Dict[int, float] = {}
         self._dupacks = 0
+        # RTO timer, lazily re-armed: ``_rto_deadline`` is the time the
+        # RTO should actually fire; ``_rto_timer`` is a probe event that
+        # chases the deadline. Acks only move the deadline (a float
+        # store) instead of cancelling and re-pushing a heap entry per
+        # ack, so steady-state transfer leaves no timer garbage in the
+        # run queue (see Simulator heap hygiene / PERFORMANCE.md).
         self._rto_timer: Optional[ScheduledCall] = None
+        self._rto_deadline: Optional[float] = None
         self._rto_backoff = 1.0
         # NewReno-style recovery: below _recovery_point, partial acks
         # drive retransmissions. Two regimes: _burst_recovery=True (after
@@ -217,9 +232,9 @@ class TransportConnection:
     def _emit(self, header: Dict, size: int = HEADER_BYTES) -> None:
         if self.peer_addr is None:
             raise RuntimeError(f"{self.conn_id}: no peer address")
-        packet = Packet(src=self.host.address, dst=self.peer_addr,
-                        size_bytes=size, flow_id=self.conn_id,
-                        payload=header, created_at=self.sim.now)
+        packet = _SEGMENT_POOL.acquire(
+            self.host.address, self.peer_addr, size, flow_id=self.conn_id,
+            payload=header, created_at=self.sim.now)
         try:
             self.host.send(packet)
         except (KeyError, RuntimeError):
@@ -235,6 +250,11 @@ class TransportConnection:
         if handler is None:
             return
         handler(packet, header)
+        if kind == "data" or kind == "ack":
+            # the segment's life ends here: nothing downstream keeps a
+            # reference (the reorder buffer stores sizes, not packets),
+            # so the shell goes back to the free list
+            _SEGMENT_POOL.release(packet)
 
     # -- data / ack handling -----------------------------------------------------
 
@@ -324,14 +344,34 @@ class TransportConnection:
         return min(max(base, MIN_RTO_S) * self._rto_backoff, MAX_RTO_S)
 
     def _arm_rto(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-            self._rto_timer = None
-        if self.inflight > 0 and self.state is ConnectionState.ESTABLISHED:
-            self._rto_timer = self.sim.schedule(self.rto_s, self._on_rto)
+        if self.inflight == 0 or self.state is not ConnectionState.ESTABLISHED:
+            self._rto_deadline = None
+            return
+        deadline = self.sim.now + self.rto_s
+        self._rto_deadline = deadline
+        timer = self._rto_timer
+        if timer is None:
+            self._rto_timer = self.sim.at(deadline, self._rto_probe)
+        elif timer.time > deadline:
+            # deadline moved *earlier* (backoff reset after recovery):
+            # the pending probe would sleep past it — replace it
+            timer.cancel()
+            self._rto_timer = self.sim.at(deadline, self._rto_probe)
+        # else: the probe fires at or before the deadline and chases it
+
+    def _rto_probe(self) -> None:
+        """Timer event: fire the RTO, chase a moved deadline, or die."""
+        self._rto_timer = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return
+        if self.sim.now < deadline:
+            self._rto_timer = self.sim.at(deadline, self._rto_probe)
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
-        self._rto_timer = None
+        self._rto_deadline = None
         if self.inflight == 0 or self.state is not ConnectionState.ESTABLISHED:
             return
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
@@ -380,6 +420,7 @@ class TransportConnection:
         if self.state is ConnectionState.BROKEN:
             return
         self.state = ConnectionState.BROKEN
+        self._rto_deadline = None
         if self._rto_timer is not None:
             self._rto_timer.cancel()
             self._rto_timer = None
@@ -389,6 +430,7 @@ class TransportConnection:
     def close(self) -> None:
         """Tear down and unregister the endpoint."""
         self.state = ConnectionState.CLOSED
+        self._rto_deadline = None
         if self._rto_timer is not None:
             self._rto_timer.cancel()
             self._rto_timer = None

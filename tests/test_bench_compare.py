@@ -1,0 +1,65 @@
+"""Tests for benchmarks/compare.py (the bench-report diff tool)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                "benchmarks"))
+
+from compare import compare_rows, load_report, render  # noqa: E402
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _report(**cells):
+    return {"date": "2026-08-06", "calibration_s": 0.05,
+            "results": {name: {"wall_s": wall, "normalized": norm,
+                               "heap_hwm": hwm}
+                        for name, (wall, norm, hwm) in cells.items()}}
+
+
+def test_compare_rows_ratio_and_speedup():
+    old = _report(F1=(0.5, 10.0, 8), E7=(0.25, 5.0, 300))
+    new = _report(F1=(0.13, 2.5, 8), E7=(0.14, 2.5, 256))
+    rows = {r["name"]: r for r in compare_rows(old, new)}
+    assert rows["F1"]["ratio"] == pytest.approx(0.25)
+    assert rows["F1"]["speedup"] == pytest.approx(4.0)
+    assert rows["E7"]["speedup"] == pytest.approx(2.0)
+    assert rows["E7"]["old_hwm"] == 300 and rows["E7"]["new_hwm"] == 256
+
+
+def test_compare_rows_handles_one_sided_cells():
+    old = _report(F1=(0.5, 10.0, 8), retired=(0.1, 2.0, 0))
+    new = _report(F1=(0.5, 10.0, 8), added=(0.2, 4.0, 10))
+    rows = {r["name"]: r for r in compare_rows(old, new)}
+    assert rows["retired"]["new"] is None
+    assert rows["added"]["old"] is None
+    assert rows["retired"]["ratio"] is None
+    assert rows["added"]["ratio"] is None
+    text = render(list(rows.values()), "old.json", "new.json")
+    assert text.count("only in one report") == 2
+
+
+def test_load_report_rejects_non_bench_json(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError):
+        load_report(str(path))
+
+
+def test_cli_round_trip(tmp_path):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_report(F1=(0.5, 10.0, 8))))
+    new.write_text(json.dumps(_report(F1=(0.25, 5.0, 8))))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "benchmarks", "compare.py"),
+         str(old), str(new)],
+        capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "F1" in proc.stdout and "2.00" in proc.stdout
+    assert "1 faster" in proc.stdout

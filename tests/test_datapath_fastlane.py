@@ -1,0 +1,285 @@
+"""Tests for the packet-datapath fast lane (see PERFORMANCE.md).
+
+Covers the three tentpole pieces — link egress pipelining, timer-heap
+hygiene, and packet pooling — plus the scheduling fast path they ride
+on. The contract under test everywhere is *semantic equivalence*: the
+fast lane must produce the same delivery times, the same drop
+accounting, and the same FIFO order as the naive implementations it
+replaced.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.net import Host
+from repro.net.links import Link
+from repro.net.packet import Packet, PacketPool
+from repro.simcore import Simulator
+from repro.transport import BulkTransferApp, TcpConnection, TcpListener, \
+    TransportDemux
+
+IP = ipaddress.IPv4Address
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+def _packet(size=1000, **kw):
+    return Packet(src=IP("10.0.0.1"), dst=IP("10.0.0.2"), size_bytes=size,
+                  **kw)
+
+
+# -- link egress pipelining ---------------------------------------------------
+
+def test_pipelined_deliveries_keep_serialization_chain(sim):
+    """Back-to-back sends serialize sequentially; each delivery lands at
+    its own serialization-done + propagation instant."""
+    link = Link(sim, rate_bps=1e6, delay_s=0.01, name="l")
+    arrivals = []
+    link.connect(lambda p: arrivals.append((sim.now, p.seq)))
+    for seq in range(4):
+        assert link.send(_packet(size=1250, seq=seq))  # 10 ms each at 1 Mbps
+    sim.run()
+    expect = [(0.01 * (i + 1) + 0.01, i) for i in range(4)]
+    assert [(pytest.approx(t), s) for t, s in expect] == arrivals
+
+
+def test_busy_link_keeps_one_live_heap_event(sim):
+    """A deep egress queue costs one wake-up event, not one per packet."""
+    link = Link(sim, rate_bps=1e6, delay_s=0.05, queue_packets=100, name="l")
+    link.connect(lambda p: None)
+    for seq in range(50):
+        link.send(_packet(size=1250, seq=seq))
+    # 50 packets queued or in flight, but only the single drain wake-up
+    # (plus nothing else) sits in the run queue
+    assert link.in_flight == 50
+    assert sim.live_queue_length == 1
+    sim.run()
+    assert link.delivered == 50
+
+
+def test_overflow_at_depth_counts_and_conserves(sim):
+    """Sends past the drop-tail cap are refused with cause=overflow and
+    the conservation law (offered = delivered + dropped + in_flight)
+    holds throughout."""
+    link = Link(sim, rate_bps=1e6, delay_s=0.001, queue_packets=5, name="l")
+    delivered = []
+    link.connect(delivered.append)
+    accepted = sum(link.send(_packet(size=1250, seq=i)) for i in range(10))
+    # one in service + 5 queued fit; the other 4 overflow
+    assert accepted == 6
+    assert link.dropped_overflow == 4
+    assert link.offered == link.delivered + link.dropped + link.in_flight
+    sim.run()
+    assert len(delivered) == 6
+    assert link.queue_depth == 0
+    assert link.offered == link.delivered + link.dropped + link.in_flight
+
+
+def test_down_mid_flight_drops_at_delivery_time(sim):
+    """A packet already serialized when the link is cut is lost at its
+    delivery instant, not retroactively."""
+    link = Link(sim, rate_bps=1e6, delay_s=0.1, name="l")
+    arrivals = []
+    link.connect(arrivals.append)
+    link.send(_packet(size=1250))          # in service until t=0.01
+    link.send(_packet(size=1250, seq=1))   # queued
+    sim.schedule(0.005, link.set_up, False)
+    sim.run()
+    assert arrivals == []
+    # the queued packet was lost to the cut immediately; the in-service
+    # one rode out its flight and was dropped on arrival
+    assert link.dropped_down == 2
+    assert link.in_flight == 0
+    assert link.offered == link.delivered + link.dropped
+
+
+def test_loss_draws_deterministic_across_runs():
+    """The cached per-link loss stream reproduces exactly from the seed."""
+    def run_once():
+        sim = Simulator(seed=42)
+        link = Link(sim, rate_bps=1e9, delay_s=0.001, name="lossy")
+        link.set_loss_rate(0.3)
+        got = []
+        link.connect(lambda p: got.append(p.seq))
+        for seq in range(40):
+            link.send(_packet(seq=seq))
+        sim.run()
+        return got
+    first, second = run_once(), run_once()
+    assert first == second
+    assert 0 < len(first) < 40
+
+
+def test_queue_depth_promotes_lazily(sim):
+    """Reading queue_depth after time passed reflects completed service
+    even though no event has touched the link in between."""
+    link = Link(sim, rate_bps=1e6, delay_s=1.0, name="l")
+    link.connect(lambda p: None)
+    for seq in range(3):
+        link.send(_packet(size=1250, seq=seq))
+    assert link.queue_depth == 2
+    sim.run(until=0.025)  # 2 of 3 serializations (10 ms each) done
+    assert link.queue_depth == 0
+
+
+# -- timer-heap hygiene -------------------------------------------------------
+
+def test_same_time_fifo_survives_cancellation_and_compaction():
+    """Cancelling enough entries to trigger heap compaction must not
+    disturb the FIFO order of surviving same-time events."""
+    sim = Simulator()
+    order = []
+    survivors = []
+    doomed = []
+    for i in range(200):
+        handle = sim.at(1.0, order.append, i)
+        (doomed if i % 3 else survivors).append((i, handle))
+    before = sim.queue_length
+    for _i, handle in doomed:
+        handle.cancel()
+    # compaction fired at least once along the way: most of the dead
+    # entries are physically gone, and the live count is exact
+    assert sim.queue_length < before
+    assert sim.live_queue_length == len(survivors)
+    sim.run()
+    assert order == [i for i, _h in survivors]
+
+
+def test_cancel_counts_and_compaction_threshold():
+    sim = Simulator()
+    handles = [sim.at(1.0, lambda: None) for _ in range(100)]
+    for handle in handles[:60]:
+        handle.cancel()
+    # 60 cancelled of 100: compaction (needs >64) has not fired yet,
+    # but live_queue_length already excludes the garbage
+    assert sim.queue_length == 100
+    assert sim.live_queue_length == 40
+    for handle in handles[60:70]:
+        handle.cancel()
+    # the 65th cancellation crossed the threshold (>64 with garbage
+    # dominating) and compacted down to the then-live 35; the last five
+    # cancels accumulate as fresh garbage
+    assert sim.queue_length == 35
+    assert sim.live_queue_length == 30
+
+
+def test_double_cancel_counted_once():
+    sim = Simulator()
+    keep = sim.at(1.0, lambda: None)
+    handle = sim.at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.live_queue_length == 1
+    sim.run()  # dispatch decrements the garbage counter exactly once
+    assert sim.live_queue_length == 0
+    assert keep.cancelled is False
+
+
+def test_post_at_interleaves_fifo_with_at():
+    """Handle-free fast-path events share the same (time, seq) ordering
+    as normal ones."""
+    sim = Simulator()
+    order = []
+    sim.at(1.0, order.append, "a")
+    sim.post_at(1.0, order.append, "b")
+    sim.at(1.0, order.append, "c")
+    sim.post_at(0.5, order.append, "early")
+    sim.run()
+    assert order == ["early", "a", "b", "c"]
+
+
+def test_rto_rearm_churn_does_not_grow_heap():
+    """A bulk transfer re-arms its RTO on every ack; the lazy-deadline
+    timer must keep the live queue flat instead of pushing one heap
+    entry per ack."""
+    sim = Simulator(seed=3)
+    a = Host(sim, "a", IP("10.0.0.1"))
+    b = Host(sim, "b", IP("10.0.0.2"))
+    a.connect_bidirectional(b, rate_bps=50e6, delay_s=0.01)
+    demux_a, demux_b = TransportDemux(a), TransportDemux(b)
+    TcpListener(sim, demux_b)
+    app = BulkTransferApp(sim, demux_a, b.address, TcpConnection,
+                          total_bytes=400_000)
+    app.start()
+    sim.run(until=30)
+    assert app.done_at is not None
+    # every acked MSS re-armed the RTO at least once
+    assert app.conn.bytes_acked >= 400_000
+    # cancel/re-push per ack would have driven the high-water mark (or
+    # the garbage count) toward one entry per ack; the lazy timer keeps
+    # the whole footprint near the handful of live events
+    assert sim.heap_high_water < 32
+    assert sim.live_queue_length <= sim.queue_length <= \
+        sim.live_queue_length + 2
+
+
+# -- packet pooling -----------------------------------------------------------
+
+def test_pool_recycles_shell_with_fresh_identity():
+    pool = PacketPool(capacity=4)
+    p = pool.acquire(IP("10.0.0.1"), IP("10.0.0.2"), 500, flow_id="f",
+                     payload={"k": 1}, created_at=1.5)
+    old_id = p.packet_id
+    p.record_hop("r1")
+    pool.release(p)
+    q = pool.acquire(IP("10.0.0.3"), IP("10.0.0.4"), 700, seq=9)
+    assert q is p  # same shell ...
+    assert q.packet_id != old_id  # ... new life
+    assert q.payload is None and q.hops is None and q.encap_stack is None
+    assert (q.src, q.dst, q.size_bytes, q.seq) == \
+        (IP("10.0.0.3"), IP("10.0.0.4"), 700, 9)
+    assert pool.acquired == 2 and pool.recycled == 1
+
+
+def test_pool_capacity_caps_free_list():
+    pool = PacketPool(capacity=2)
+    packets = [pool.acquire(None, None, 100) for _ in range(5)]
+    for p in packets:
+        pool.release(p)
+    assert len(pool) == 2
+
+
+def test_pool_validates_size_on_recycle():
+    pool = PacketPool()
+    pool.release(pool.acquire(None, None, 100))
+    with pytest.raises(ValueError):
+        pool.acquire(None, None, 0)
+
+
+def test_transport_pooling_preserves_transfer():
+    """End-to-end: the pooled segment path completes a transfer with the
+    same byte accounting as ever."""
+    sim = Simulator(seed=11)
+    a = Host(sim, "a", IP("10.0.0.1"))
+    b = Host(sim, "b", IP("10.0.0.2"))
+    a.connect_bidirectional(b, rate_bps=50e6, delay_s=0.005)
+    demux_a, demux_b = TransportDemux(a), TransportDemux(b)
+    TcpListener(sim, demux_b)
+    app = BulkTransferApp(sim, demux_a, b.address, TcpConnection,
+                          total_bytes=250_000)
+    app.start()
+    sim.run(until=30)
+    assert app.done_at is not None
+    assert app._acked_total() == 250_000
+
+
+# -- observability plumbing ---------------------------------------------------
+
+def test_heap_high_water_reported_through_hub():
+    from repro.telemetry.hub import HUB
+
+    HUB.start_run()
+    try:
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+    except BaseException:
+        HUB.abort_run()
+        raise
+    run = HUB.finish_run()
+    assert run.heap_high_water == sim.heap_high_water == 10
