@@ -79,6 +79,10 @@ SPECS: List[Spec] = [
     Spec("E13-paging", "E13", repeats=3, seeded=True),
     Spec("E16-small", "E16", {"n_aps": 3, "n_ues": 8}, repeats=5,
          seeded=True),
+    # overload path: a protected attach storm exercising bounded queues,
+    # admission control, and the UE retry/backoff machinery end to end
+    Spec("E17-storm", "E17", {"intensities": [1, 8], "horizon_s": 12.0},
+         repeats=3, seeded=True),
     # full set only: the heavy sweeps the --jobs work targets
     Spec("E5-coordination", "E5", repeats=2, quick=False, seeded=True),
     Spec("E6-small", "E6", {"dwells_s": [3.0, 1.0]}, repeats=1,
@@ -114,19 +118,23 @@ def _nop() -> None:
 
 
 def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
-    """Best-of-N wall time plus the run's heap high-water mark.
+    """Best-of-N wall time plus the run's resource high-water marks.
 
     Each repeat is bracketed with a telemetry-hub run so every simulator
     the workload builds is collected; the hub hands back the max
-    ``Simulator.heap_high_water``, which the report tracks alongside
-    wall time (heap hygiene is a perf property too — see
-    PERFORMANCE.md). Collection is passive (no profiler, no tracer) and
-    the bookkeeping happens outside the timed window.
+    ``Simulator.heap_high_water``, the deepest control-agent queue, and
+    the total messages shed by overload protection, which the report
+    tracks alongside wall time (heap and queue hygiene are perf
+    properties too — see PERFORMANCE.md). Collection is passive (no
+    profiler, no tracer) and the bookkeeping happens outside the timed
+    window.
     """
     from repro.telemetry.hub import HUB
 
     best = float("inf")
     heap_hwm = 0
+    agent_peak = 0
+    shed = 0
     for _ in range(max(1, repeats)):
         HUB.start_run()
         try:
@@ -136,8 +144,11 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
         except BaseException:
             HUB.abort_run()
             raise
-        heap_hwm = max(heap_hwm, HUB.finish_run().heap_high_water)
-    return best, heap_hwm
+        run = HUB.finish_run()
+        heap_hwm = max(heap_hwm, run.heap_high_water)
+        agent_peak = max(agent_peak, run.agent_peak_queue)
+        shed = max(shed, run.agents_shed)
+    return best, heap_hwm, agent_peak, shed
 
 
 def _run_suite(ids: List[str], jobs: int) -> float:
@@ -168,14 +179,18 @@ def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
     print(f"  calibration: {calibration_s * 1e3:.1f} ms / 50k events")
     results: Dict[str, Dict[str, float]] = {}
     for spec in specs:
-        wall, heap_hwm = _time_call(spec.build_call(), spec.repeats)
+        wall, heap_hwm, agent_peak, shed = _time_call(
+            spec.build_call(), spec.repeats)
         results[spec.name] = {
             "wall_s": round(wall, 4),
             "normalized": round(wall / calibration_s, 3),
             "heap_hwm": heap_hwm,
+            "agent_peak_queue": agent_peak,
+            "agents_shed": shed,
         }
         print(f"  {spec.name:<20} {wall:8.3f} s   "
-              f"({wall / calibration_s:8.2f}x cal, heap hwm {heap_hwm})")
+              f"({wall / calibration_s:8.2f}x cal, heap hwm {heap_hwm}, "
+              f"peak queue {agent_peak}, shed {shed})")
     report: Dict[str, object] = {
         "date": time.strftime("%Y-%m-%d"),
         "quick": quick,

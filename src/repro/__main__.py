@@ -112,7 +112,9 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
         print(f"[{exp_id} profile: {prof.events:,} events in "
               f"{prof.wall_s:.3f} s wall "
               f"({prof.events_per_sec:,.0f} events/s, "
-              f"heap high-water {run.heap_high_water})]")
+              f"heap high-water {run.heap_high_water}, "
+              f"agent peak queue {run.agent_peak_queue}, "
+              f"shed {run.agents_shed})]")
         print(prof.hot_path_table().render())
         category_table = prof.category_table()
         if category_table.rows:
@@ -158,7 +160,7 @@ def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
 
 #: Experiments whose run() fans its own sweep cells over the worker
 #: pool; they run in the parent so the whole pool serves their cells.
-CELL_PARALLEL_IDS = ("E6", "E7")
+CELL_PARALLEL_IDS = ("E6", "E7", "E17")
 
 #: Rough serial seconds per experiment (measured on the reference box);
 #: only the ordering matters — longest-first submission of the fan-out.

@@ -246,6 +246,12 @@ class DLTEAccessPoint:
         self._saved_x2_handlers = list(self.x2.handlers)
         self.x2.handlers.clear()
         self.stop_lease_renewal()
+        # a rebooted box must not transmit on its pre-crash slice: the
+        # survivors re-split the spectrum the moment they declare us
+        # dead, so the stale slice may overlap theirs. Forfeit it now;
+        # the full grid is the "not (re)converged" sentinel the slice
+        # invariant recognizes, and re-peering assigns the real slice.
+        self.cell.allowed_prbs = self.cell.grid.all_prbs
         for ue in list(self._ue_objects.values()):
             self.disconnect_ue(ue)
             ue.radio_lost()

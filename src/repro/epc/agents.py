@@ -11,14 +11,24 @@ naturally scales").
 A :class:`ControlChannel` connects two agents with a fixed one-way
 latency and counts bytes, giving E7/E9 their control-load numbers
 without dragging the full IP substrate into the control plane.
+
+Queues are unbounded by default (the seed's infinite-patience model);
+installing an :class:`~repro.epc.overload.OverloadPolicy` via
+:meth:`ControlAgent.configure_overload` bounds the queue and sheds per
+policy. Every offer and every shed is counted — ``enqueued``,
+``processed``, ``shed``, ``shed_by_cause`` — so the control-plane
+conservation law ``enqueued == processed + shed + in_flight`` holds at
+every event boundary (see ``InvariantChecker.watch_agent``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 from collections import deque
 
+from repro.epc.nas import AttachRequest
+from repro.epc.overload import CLASS_NEW_WORK, OverloadPolicy, message_class
 from repro.simcore.simulator import Simulator
 
 
@@ -48,28 +58,139 @@ class ControlAgent:
         self.service_time_s = service_time_s
         self._queue: Deque[ControlMessage] = deque()
         self._busy = False
+        self._in_handle = False
         self.processed = 0
         self.busy_time_s = 0.0
         self.peak_queue_depth = 0
+        #: conservation ledger: every message offered to (and accepted
+        #: into) this agent's bookkeeping, including ones later shed.
+        self.enqueued = 0
+        self.shed = 0
+        self.shed_by_cause: Dict[str, int] = {}
+        #: bounded-queue policy; None (the default) keeps the seed's
+        #: unbounded infinite-patience behavior byte for byte.
+        self.overload: Optional[OverloadPolicy] = None
         self._m_processed = sim.metrics.counter("epc.agent.processed",
                                                 agent=name)
         self._m_queue = sim.metrics.gauge("epc.agent.queue_depth", agent=name)
         self._m_wait = sim.metrics.histogram("epc.agent.queue_wait_s",
                                              agent=name)
 
+    def configure_overload(self, policy: Optional[OverloadPolicy]) -> None:
+        """Install (or clear) a bounded-queue/shedding policy."""
+        self.overload = policy
+
     def enqueue(self, message: ControlMessage) -> None:
-        """Accept an inbound message (called by channels)."""
+        """Accept an inbound message (called by channels).
+
+        Re-entrancy audit (the kick-off below is a *direct* call): when
+        the queue is idle, ``_serve_next()`` runs synchronously inside
+        the caller's frame — which may be a handler's call chain. This
+        is safe because ``_serve_next`` never executes user code: it
+        only pops, records the wait, and posts ``_finish`` through
+        ``sim.post_at``. And while this agent's own ``handle()`` is
+        running (inside ``_finish``), ``_busy`` is still True, so a
+        self-``enqueue`` from the handler can never re-enter
+        ``_serve_next``; the assertion there guards that argument.
+        Routing the kick through ``sim.post_at`` instead would insert
+        an extra same-time event and reorder seeded schedules.
+        """
         message.queued_at = self.sim.now
+        self.enqueued += 1
         queue = self._queue
+        policy = self.overload
+        if policy is not None and not self._admit(message, policy):
+            return
         queue.append(message)
         depth = len(queue)
         if depth > self.peak_queue_depth:
             self.peak_queue_depth = depth
+            sim = self.sim
+            if depth > sim.agent_peak_queue:
+                sim.agent_peak_queue = depth
         self._m_queue.set(depth)
         if not self._busy:
             self._serve_next()
 
+    # -- overload protection ---------------------------------------------------
+
+    def _admit(self, message: ControlMessage, policy: OverloadPolicy) -> bool:
+        """Apply admission control and shedding; True if ``message`` may
+        join the queue (which is then guaranteed below ``queue_limit``)."""
+        queue = self._queue
+        payload = message.payload
+        limit = policy.admission_limit
+        if (limit is not None and isinstance(payload, AttachRequest)
+                and len(queue) + (1 if self._busy else 0) >= limit):
+            # refuse new work before it costs service time; subclasses
+            # with a reply path send the T3346-style congestion reject
+            self._shed(message, "congestion")
+            self._send_congestion_reject(message,
+                                         policy.congestion_backoff_s)
+            return False
+        if len(queue) < policy.queue_limit:
+            return True
+        if policy.shed == "deadline":
+            horizon = self.sim.now - policy.deadline_s
+            stale = [m for m in queue if m.queued_at < horizon]
+            if stale:
+                for dead in stale:
+                    queue.remove(dead)
+                    self._shed(dead, "deadline")
+                self._m_queue.set(len(queue))
+            if len(queue) < policy.queue_limit:
+                return True
+        elif policy.shed == "priority":
+            incoming = message_class(payload)
+            if incoming < CLASS_NEW_WORK:
+                # evict the youngest lowest-priority message iff it is
+                # strictly less important than the arrival
+                victim_idx, victim_class = -1, incoming
+                for idx, queued in enumerate(queue):
+                    cls = message_class(queued.payload)
+                    if cls >= victim_class:
+                        victim_idx, victim_class = idx, cls
+                if victim_idx >= 0 and victim_class > incoming:
+                    victim = queue[victim_idx]
+                    del queue[victim_idx]
+                    self._shed(victim, "priority")
+                    self._m_queue.set(len(queue))
+                    return True
+        self._shed(message, "queue-full")
+        return False
+
+    def _shed(self, message: ControlMessage, cause: str) -> None:
+        """Account one dropped message (never silently)."""
+        self.shed += 1
+        by_cause = self.shed_by_cause
+        by_cause[cause] = by_cause.get(cause, 0) + 1
+        sim = self.sim
+        sim.agents_shed += 1
+        sim.metrics.counter("epc.agent.shed", agent=self.name,
+                            cause=cause).inc()
+        sim.trace("overload", f"{self.name}: shed "
+                  f"{type(message.payload).__name__}", cause=cause)
+
+    def _shed_queue(self, cause: str) -> int:
+        """Shed every waiting message (e.g. a crash); returns the count."""
+        queue = self._queue
+        n = len(queue)
+        while queue:
+            self._shed(queue.popleft(), cause)
+        if n:
+            self._m_queue.set(0)
+        return n
+
+    def _send_congestion_reject(self, message: ControlMessage,
+                                backoff_s: float) -> None:
+        """Tell the refused UE when to retry; base agents have no reply
+        path, so this is a hook for MME/stub overrides."""
+
+    # -- serving ---------------------------------------------------------------
+
     def _serve_next(self) -> None:
+        assert not self._in_handle, \
+            f"{self.name}: re-entrant _serve_next during handle()"
         queue = self._queue
         if not queue:
             self._busy = False
@@ -85,13 +206,23 @@ class ControlAgent:
         self.busy_time_s += self.service_time_s
         self.processed += 1
         self._m_processed.inc()
-        self.handle(message)
+        self._in_handle = True
+        try:
+            self.handle(message)
+        finally:
+            self._in_handle = False
         self._serve_next()
 
     @property
     def queue_depth(self) -> int:
         """Messages currently waiting (excluding the one in service)."""
         return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages accepted but not yet fully served: the waiting queue
+        plus the one in service (conservation-law term)."""
+        return len(self._queue) + (1 if self._busy else 0)
 
     def utilization(self, elapsed_s: float) -> float:
         """Fraction of elapsed time spent processing."""

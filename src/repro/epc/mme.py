@@ -157,6 +157,21 @@ class Mme(ControlAgent):
         if span is not None:
             span.end(status="rejected", cause=cause)
 
+    def _send_congestion_reject(self, message: ControlMessage,
+                                backoff_s: float) -> None:
+        """Admission control refused an AttachRequest at enqueue time:
+        answer with the T3346-style congestion reject (costs no MME
+        service time — that is the point of refusing early)."""
+        request = message.payload
+        channel = self.s1.get(message.sender.name)
+        if channel is None:
+            return
+        self.attaches_rejected += 1
+        self._m_rejected.inc()
+        channel.send(self, AttachReject(ue_id=request.ue_id,
+                                        cause="congestion",
+                                        backoff_s=backoff_s))
+
     # -- attach procedure ------------------------------------------------------------
 
     def _on_attach_request(self, enb_name: str, request: AttachRequest) -> None:

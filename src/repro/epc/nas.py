@@ -94,9 +94,16 @@ class AttachComplete(NasMessage):
 
 @dataclass
 class AttachReject(NasMessage):
-    """MME -> UE: attach refused."""
+    """MME -> UE: attach refused.
+
+    ``backoff_s`` models the T3346 congestion timer: when the cause is
+    ``congestion`` the network assigns a minimum wait before the UE may
+    retry, so a rejected flash crowd spreads out instead of hammering.
+    Zero means no server-assigned backoff (ordinary reject).
+    """
 
     cause: str = ""
+    backoff_s: float = 0.0
     size_bytes: int = 90
 
 

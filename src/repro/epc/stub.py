@@ -103,7 +103,7 @@ class LocalCoreStub(ControlAgent):
             if self.on_session_deleted is not None:
                 self.on_session_deleted(ue_id)
         self._pending_vector.clear()
-        self._queue.clear()
+        self._shed_queue("crash")  # accounted, not silently cleared
         self._m_sessions.set(0)
         self.sim.trace("fault", f"{self.name}: crashed")
 
@@ -122,6 +122,20 @@ class LocalCoreStub(ControlAgent):
             self.dropped_while_down += 1
             return
         super().enqueue(message)
+
+    def _send_congestion_reject(self, message: ControlMessage,
+                                backoff_s: float) -> None:
+        """Admission control refused an AttachRequest at enqueue time:
+        send the T3346-style congestion reject without spending any
+        stub service time on the refused attach."""
+        if self.s1 is None:
+            return
+        request = message.payload
+        self.attaches_rejected += 1
+        self._m_rejected.inc()
+        self.s1.send(self, AttachReject(ue_id=request.ue_id,
+                                        cause="congestion",
+                                        backoff_s=backoff_s))
 
     # -- dispatch --------------------------------------------------------------------
 

@@ -91,6 +91,10 @@ class UserEquipment(ControlAgent):
         self.attach_attempts = 0
         self.attach_retries_exhausted = 0
         self._attach_outcome = None  # Event the retry loop waits on
+        #: T3346 analogue: the backoff the network assigned with its
+        #: last congestion reject; the retry loop honors it as a floor.
+        self.server_backoff_s = 0.0
+        self.congestion_rejects = 0
         self.on_attached: Optional[Callable[["UserEquipment"], None]] = None
         self.on_rejected: Optional[Callable[["UserEquipment", str], None]] = None
         self.on_service_resumed: Optional[
@@ -175,6 +179,7 @@ class UserEquipment(ControlAgent):
         rng = self.sim.rng(f"nas-backoff:{self.name}")
         backoff = base_backoff_s
         for attempt in range(max_attempts):
+            self.server_backoff_s = 0.0
             if self.air is not None:
                 self.attach_attempts += 1
                 outcome = self.sim.event(f"attach-outcome:{self.name}")
@@ -187,10 +192,17 @@ class UserEquipment(ControlAgent):
                     return
             if attempt == max_attempts - 1:
                 break
-            jitter = float(rng.uniform(0.0, jitter_frac * backoff))
+            # the server-assigned T3346 timer (congestion reject) floors
+            # the local exponential backoff; jitter scales with the wait
+            # actually taken, so a refused crowd spreads over the whole
+            # assigned window instead of returning in one wave.
+            wait = backoff
+            if self.server_backoff_s > wait:
+                wait = self.server_backoff_s
+            jitter = float(rng.uniform(0.0, jitter_frac * wait))
             self.sim.trace("nas", f"{self.name}: attach retry backoff",
-                           attempt=attempt + 1, backoff_s=backoff + jitter)
-            yield self.sim.timeout(backoff + jitter)
+                           attempt=attempt + 1, backoff_s=wait + jitter)
+            yield self.sim.timeout(wait + jitter)
             backoff = min(backoff * 2.0, max_backoff_s)
         self.attach_retries_exhausted += 1
         self.sim.trace("nas", f"{self.name}: attach retries exhausted",
@@ -245,6 +257,10 @@ class UserEquipment(ControlAgent):
         elif isinstance(payload, AttachAccept):
             self._on_attach_accept(payload)
         elif isinstance(payload, (AttachReject, AuthenticationReject)):
+            backoff_s = getattr(payload, "backoff_s", 0.0)
+            if backoff_s > 0.0:
+                self.server_backoff_s = backoff_s
+                self.congestion_rejects += 1
             self.state = UeState.REJECTED
             self._m_rejects.inc()
             self._end_attach_span(

@@ -21,6 +21,7 @@ from repro.experiments import (
     e14_nr_upgrade,
     e15_reachability,
     e16_resilience,
+    e17_attach_storm,
     f1_path_comparison,
     t1_design_space,
 )
@@ -42,6 +43,7 @@ ALL_EXPERIMENTS = {
     "E14": e14_nr_upgrade,
     "E15": e15_reachability,
     "E16": e16_resilience,
+    "E17": e17_attach_storm,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -22,6 +22,7 @@ from repro.invariants.checks import (
     InvariantViolation,
 )
 from repro.invariants.network import (
+    iter_control_agents,
     watch_federation,
     watch_network,
     watch_topology,
@@ -31,6 +32,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantError",
     "InvariantViolation",
+    "iter_control_agents",
     "watch_federation",
     "watch_network",
     "watch_topology",

@@ -119,6 +119,31 @@ class InvariantChecker:
 
         self.register("link-conservation", link.name, check)
 
+    def watch_agent(self, agent: Any) -> None:
+        """Audit a :class:`~repro.epc.agents.ControlAgent`'s message
+        conservation: every offer is served, shed (with a cause), or
+        still in flight — overload protection may drop, never leak."""
+
+        def check() -> List[str]:
+            problems = []
+            by_cause = sum(agent.shed_by_cause.values())
+            if by_cause != agent.shed:
+                problems.append(
+                    f"unattributed sheds: {agent.shed} total != "
+                    f"{by_cause} by cause ({dict(agent.shed_by_cause)})")
+            in_flight = agent.in_flight
+            accounted = agent.processed + agent.shed + in_flight
+            if accounted != agent.enqueued:
+                problems.append(
+                    f"message leak: enqueued={agent.enqueued} != "
+                    f"served={agent.processed} + shed={agent.shed} "
+                    f"+ in_queue={in_flight}")
+            if in_flight < 0:
+                problems.append(f"negative in_flight: {in_flight}")
+            return problems
+
+        self.register("agent-conservation", agent.name, check)
+
     def watch_nat(self, nat: Any) -> None:
         """Audit a :class:`~repro.net.nat.NatRouter`'s binding accounting."""
 

@@ -27,7 +27,40 @@ from repro.invariants.checks import InvariantChecker
 from repro.net.nat import NatRouter
 from repro.spectrum.grants import in_contention
 
-__all__ = ["watch_federation", "watch_network", "watch_topology"]
+__all__ = ["iter_control_agents", "watch_federation", "watch_network",
+           "watch_topology"]
+
+
+def iter_control_agents(net: Any) -> List[Any]:
+    """Every ControlAgent a built network owns, deterministically ordered.
+
+    Covers both architectures: UEs, per-AP stubs and eNB relays (dLTE),
+    and the centralized core's MME/HSS/S-GW/P-GW plus its eNB relays —
+    the population the control-plane conservation law audits and E17's
+    shed accounting sums over.
+    """
+    agents: List[Any] = []
+    for name in sorted(getattr(net, "ues", {})):
+        agents.append(net.ues[name])
+    aps = getattr(net, "aps", None)
+    if aps:
+        for ap_id in sorted(aps):
+            ap = aps[ap_id]
+            for attr in ("stub", "enb"):
+                agent = getattr(ap, attr, None)
+                if agent is not None:
+                    agents.append(agent)
+    epc = getattr(net, "epc", None)
+    if epc is not None:
+        for attr in ("mme", "hss", "sgw", "pgw"):
+            agent = getattr(epc, attr, None)
+            if agent is not None:
+                agents.append(agent)
+    relays = getattr(net, "enb_relays", None)
+    if relays:
+        for name in sorted(relays):
+            agents.append(relays[name])
+    return agents
 
 
 def _iter_nodes(roots: Iterable[Any]) -> List[Any]:
@@ -176,6 +209,8 @@ def watch_network(net: Any, checker: InvariantChecker = None,
     watch_topology(checker, roots)
     for ue in getattr(net, "ues", {}).values():
         checker.watch_ue(ue)
+    for agent in iter_control_agents(net):
+        checker.watch_agent(agent)
     if aps:
         watch_federation(checker, aps,
                          registry=getattr(net, "spectrum_registry", None))

@@ -60,6 +60,11 @@ class Simulator:
         #: most entries the heap ever held at once — the memory/log-N
         #: footprint of a run; exported by the profiler and bench JSON
         self.heap_high_water = 0
+        #: deepest ControlAgent queue seen in this sim and total messages
+        #: shed by overload protection — maintained by repro.epc.agents,
+        #: exported alongside heap_high_water (plain ints: passive)
+        self.agent_peak_queue = 0
+        self.agents_shed = 0
         self._tracer = None
         self._profiler = None
         #: True iff a tracer or profiler is installed — the one flag the

@@ -38,7 +38,9 @@ class RunTelemetry:
                  span_trackers: List[Tuple[str, Any]],
                  tracers: List[Tuple[str, Any]],
                  profiler: Optional[RunProfiler],
-                 heap_high_water: int = 0) -> None:
+                 heap_high_water: int = 0,
+                 agent_peak_queue: int = 0,
+                 agents_shed: int = 0) -> None:
         self.registries = registries
         self.span_trackers = span_trackers
         self.tracers = tracers
@@ -46,6 +48,12 @@ class RunTelemetry:
         #: largest run-queue footprint any collected simulator reached
         #: (max over sims of ``Simulator.heap_high_water``)
         self.heap_high_water = heap_high_water
+        #: deepest control-agent queue across every collected simulator
+        #: (max over sims of ``Simulator.agent_peak_queue``)
+        self.agent_peak_queue = agent_peak_queue
+        #: control messages shed by overload protection, run-wide
+        #: (sum over sims of ``Simulator.agents_shed``)
+        self.agents_shed = agents_shed
 
     def metrics_rows(self) -> List[dict]:
         """Tagged snapshot rows across every collected registry."""
@@ -69,14 +77,18 @@ class WorkerSimTelemetry:
     simulators and parent-process simulators merge identically.
     """
 
-    __slots__ = ("telemetry", "tracer", "profiler", "heap_high_water")
+    __slots__ = ("telemetry", "tracer", "profiler", "heap_high_water",
+                 "agent_peak_queue", "agents_shed")
 
     def __init__(self, telemetry: Any, tracer: Any, profiler: Any,
-                 heap_high_water: int = 0) -> None:
+                 heap_high_water: int = 0, agent_peak_queue: int = 0,
+                 agents_shed: int = 0) -> None:
         self.telemetry = telemetry
         self.tracer = tracer
         self.profiler = profiler
         self.heap_high_water = heap_high_water
+        self.agent_peak_queue = agent_peak_queue
+        self.agents_shed = agents_shed
 
 
 class TelemetryHub:
@@ -143,6 +155,8 @@ class TelemetryHub:
         profiler: Optional[RunProfiler] = \
             RunProfiler() if self._profile else None
         heap_high_water = 0
+        agent_peak_queue = 0
+        agents_shed = 0
         for index, sim in enumerate(self._sims):
             tag = f"s{index}"
             registries.append((tag, sim.telemetry.metrics))
@@ -154,6 +168,10 @@ class TelemetryHub:
             hwm = getattr(sim, "heap_high_water", 0)
             if hwm > heap_high_water:
                 heap_high_water = hwm
+            peak = getattr(sim, "agent_peak_queue", 0)
+            if peak > agent_peak_queue:
+                agent_peak_queue = peak
+            agents_shed += getattr(sim, "agents_shed", 0)
         if len(self._shared):
             registries.append(("shared", self._shared))
         for index, registry in enumerate(self._worker_shared):
@@ -161,7 +179,7 @@ class TelemetryHub:
         self._sims = []
         self._worker_shared = []
         return RunTelemetry(registries, span_trackers, tracers, profiler,
-                            heap_high_water)
+                            heap_high_water, agent_peak_queue, agents_shed)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
@@ -183,7 +201,9 @@ class TelemetryHub:
         payload = {
             "sims": [WorkerSimTelemetry(sim.telemetry, sim.tracer,
                                         sim.profiler,
-                                        getattr(sim, "heap_high_water", 0))
+                                        getattr(sim, "heap_high_water", 0),
+                                        getattr(sim, "agent_peak_queue", 0),
+                                        getattr(sim, "agents_shed", 0))
                      for sim in self._sims],
             "shared": self._shared if len(self._shared) else None,
         }

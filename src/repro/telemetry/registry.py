@@ -297,7 +297,8 @@ class Histogram(_Instrument):
     PENDING_CAP = 4096
 
     def __init__(self, name: str, labels: Dict[str, str],
-                 buckets: Optional[Sequence[float]] = None) -> None:
+                 buckets: Optional[Sequence[float]] = None,
+                 quantiles: Optional[Sequence[float]] = None) -> None:
         super().__init__(name, labels)
         bounds = tuple(buckets) if buckets else DEFAULT_BUCKETS
         if list(bounds) != sorted(bounds):
@@ -310,7 +311,8 @@ class Histogram(_Instrument):
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._quantiles = tuple(P2Quantile(q) for q in self.QUANTILES)
+        self._quantiles = tuple(P2Quantile(q)
+                                for q in (quantiles or self.QUANTILES))
         self._pending: List[float] = []
 
     def observe(self, value: float) -> None:
@@ -332,13 +334,22 @@ class Histogram(_Instrument):
     def _flush_quantiles(self) -> None:
         """Replay buffered samples into the P² trackers, in order."""
         pending = self._pending
-        if pending:
-            self._pending = []
-            q50, q95, q99 = self._quantiles
+        if not pending:
+            return
+        self._pending = []
+        trackers = self._quantiles
+        if len(trackers) == 3:  # the default p50/p95/p99, unrolled
+            q50, q95, q99 = trackers
             for value in pending:
                 q50.observe(value)
                 q95.observe(value)
                 q99.observe(value)
+            return
+        # custom quantile sets (e.g. E17's p999): trackers are
+        # independent, so per-tracker replay order is equivalent
+        for tracker in trackers:
+            for value in pending:
+                tracker.observe(value)
 
     @property
     def mean(self) -> float:
@@ -351,19 +362,29 @@ class Histogram(_Instrument):
         for tracker in self._quantiles:
             if tracker.q == q:
                 return tracker.estimate
-        raise KeyError(f"quantile {q} not tracked (have {self.QUANTILES})")
+        raise KeyError(f"quantile {q} not tracked "
+                       f"(have {tuple(t.q for t in self._quantiles)})")
+
+    def _row_quantile(self, q: float) -> float:
+        """``row()`` helper: tracked estimate, or 0.0 when this histogram
+        was created with a custom quantile set that omits ``q``."""
+        for tracker in self._quantiles:
+            if tracker.q == q:
+                return tracker.estimate
+        return 0.0
 
     def row(self) -> Dict[str, Any]:
         """Snapshot row for exporters."""
         empty = self.count == 0
+        self._flush_quantiles()
         return {"kind": self.kind, "name": self.name, "labels": self.labels,
                 "count": self.count, "sum": self.sum,
                 "min": 0.0 if empty else self.min,
                 "max": 0.0 if empty else self.max,
                 "mean": 0.0 if empty else self.mean,
-                "p50": 0.0 if empty else self.quantile(0.5),
-                "p95": 0.0 if empty else self.quantile(0.95),
-                "p99": 0.0 if empty else self.quantile(0.99)}
+                "p50": 0.0 if empty else self._row_quantile(0.5),
+                "p95": 0.0 if empty else self._row_quantile(0.95),
+                "p99": 0.0 if empty else self._row_quantile(0.99)}
 
 
 class MetricsRegistry:
@@ -402,9 +423,12 @@ class MetricsRegistry:
 
     def histogram(self, name: str,
                   buckets: Optional[Sequence[float]] = None,
+                  quantiles: Optional[Sequence[float]] = None,
                   **labels: Any) -> Histogram:
-        """Get or create a histogram (``buckets`` only applies on create)."""
-        return self._get(Histogram, name, labels, buckets=buckets)
+        """Get or create a histogram (``buckets``/``quantiles`` only
+        apply on create)."""
+        return self._get(Histogram, name, labels, buckets=buckets,
+                         quantiles=quantiles)
 
     # -- queries ------------------------------------------------------------
 

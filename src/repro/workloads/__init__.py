@@ -3,7 +3,9 @@
 from repro.workloads.topology import FarmCorridor, RuralTown
 from repro.workloads.traffic import (
     CbrSource,
+    FlashCrowdAttachSource,
     OnOffSource,
+    PoissonChurnAttachSource,
     PoissonSource,
     VideoStreamSource,
     WebSessionSource,
@@ -17,4 +19,6 @@ __all__ = [
     "OnOffSource",
     "WebSessionSource",
     "VideoStreamSource",
+    "FlashCrowdAttachSource",
+    "PoissonChurnAttachSource",
 ]

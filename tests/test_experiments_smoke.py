@@ -21,6 +21,7 @@ from repro.experiments import (
     e13_idle_paging,
     e14_nr_upgrade,
     e16_resilience,
+    e17_attach_storm,
     t1_design_space,
 )
 from repro.metrics.tables import ResultTable
@@ -29,7 +30,7 @@ from repro.metrics.tables import ResultTable
 def test_registry_covers_all_ids():
     assert set(ALL_EXPERIMENTS) == {
         "T1", "F1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-        "E11", "E12", "E13", "E14", "E15", "E16"}
+        "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
         assert module.__doc__
@@ -101,3 +102,14 @@ def test_e16_smoke():
         n_ues=4, fail_at_s=3.0, outage_s=6.0, horizon_s=15.0)
     _check(timeline, 2 * 15)
     _check(summary, 2)
+
+
+def test_e17_smoke():
+    table = e17_attach_storm.run(intensities=(1, 4), n_aps=2, ue_per_ap=3,
+                                 horizon_s=12.0)
+    _check(table, 4)
+    # robustness contract: the federated arm never attaches a smaller
+    # fraction of the crowd than the centralized arm at any intensity
+    success = table.column("attach_success")
+    for cent, dlte in zip(success[0::2], success[1::2]):
+        assert dlte >= cent

@@ -39,6 +39,8 @@ CASES = [
     ("E15", {}),
     ("E16", {"n_ues": 4, "fail_at_s": 3.0, "outage_s": 6.0,
              "horizon_s": 15.0}),
+    ("E17", {"intensities": (1, 4), "n_aps": 2, "ue_per_ap": 3,
+             "horizon_s": 12.0}),
 ]
 
 
