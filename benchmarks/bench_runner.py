@@ -13,6 +13,13 @@ workload's wall time *normalized by the calibration time*, so a slower
 CI runner shifts both numbers together and only real per-workload
 regressions trip the gate.
 
+Attribution: after the timing loop each cell gets one *untimed*
+profiled pass whose top callback sites land in the report
+(``results[<cell>]["profile"]``); ``compare.py`` joins two reports'
+tables to name the code behind a delta. ``--skip-profile`` drops the
+pass, ``--folded-dir DIR`` additionally writes per-cell collapsed-stack
+profiles for flamegraph tooling.
+
 Usage::
 
     python benchmarks/bench_runner.py --quick            # CI set
@@ -151,6 +158,37 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
     return best, heap_hwm, agent_peak, shed
 
 
+def _profile_call(fn: Callable[[], object], top_n: int,
+                  folded_path: Optional[str]) -> List[Dict[str, object]]:
+    """One untimed profiled pass: per-callback-site attribution rows.
+
+    Runs the workload once under the hub's sampling-free profiler and
+    returns the top-N callback sites as ``{site, calls, wall_ms, frac}``
+    rows — the data ``compare.py`` uses to attribute a normalized delta
+    to the code that moved. Profiling overhead is real (every dispatch
+    is timed), which is why this pass is separate from the best-of-N
+    timing loop and its wall time is discarded. When ``folded_path`` is
+    set the same pass also writes a collapsed-stack profile for
+    flamegraph tooling.
+    """
+    from repro.telemetry.exporters import write_folded
+    from repro.telemetry.hub import HUB
+
+    HUB.start_run(profile=True)
+    try:
+        fn()
+    except BaseException:
+        HUB.abort_run()
+        raise
+    run = HUB.finish_run()
+    if folded_path and run.profiler is not None:
+        write_folded(folded_path, profiler=run.profiler,
+                     span_trackers=run.span_trackers)
+    if run.profiler is None:
+        return []
+    return run.profiler.top_rows(top_n)
+
+
 def _run_suite(ids: List[str], jobs: int) -> float:
     """Wall-clock one CLI-equivalent multi-experiment pass at ``jobs``."""
     import contextlib
@@ -172,12 +210,16 @@ def _run_suite(ids: List[str], jobs: int) -> float:
         set_jobs(1)
 
 
-def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
+def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
+                   folded_dir: Optional[str] = None,
+                   top_n: int = 12) -> Dict[str, object]:
     specs = [s for s in SPECS if s.quick or not quick]
     print("calibrating dispatch kernel ...", flush=True)
     calibration_s = _calibrate()
     print(f"  calibration: {calibration_s * 1e3:.1f} ms / 50k events")
-    results: Dict[str, Dict[str, float]] = {}
+    if folded_dir:
+        os.makedirs(folded_dir, exist_ok=True)
+    results: Dict[str, Dict[str, object]] = {}
     for spec in specs:
         wall, heap_hwm, agent_peak, shed = _time_call(
             spec.build_call(), spec.repeats)
@@ -188,6 +230,11 @@ def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
             "agent_peak_queue": agent_peak,
             "agents_shed": shed,
         }
+        if profile:
+            folded_path = (os.path.join(folded_dir, f"{spec.name}.folded")
+                           if folded_dir else None)
+            results[spec.name]["profile"] = _profile_call(
+                spec.build_call(), top_n, folded_path)
         print(f"  {spec.name:<20} {wall:8.3f} s   "
               f"({wall / calibration_s:8.2f}x cal, heap hwm {heap_hwm}, "
               f"peak queue {agent_peak}, shed {shed})")
@@ -205,6 +252,10 @@ def run_benchmarks(quick: bool, jobs: int) -> Dict[str, object]:
         report["parallel"] = {
             "suite": PARALLEL_SUITE,
             "jobs": jobs,
+            # honest hardware context: a 1-CPU box timesharing N workers
+            # cannot speed up, and compare.py refuses to judge the
+            # speedup when cpus < jobs
+            "cpus": os.cpu_count(),
             "serial_s": round(serial_s, 3),
             "parallel_s": round(parallel_s, 3),
             "speedup": round(speedup, 2),
@@ -261,9 +312,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "regresses past --threshold vs --baseline")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed normalized slowdown (default 0.25)")
+    parser.add_argument("--skip-profile", action="store_true",
+                        help="skip the per-cell profiled attribution pass "
+                             "(faster; the report loses 'profile' tables)")
+    parser.add_argument("--folded-dir", metavar="DIR",
+                        help="also write a per-cell collapsed-stack "
+                             "<cell>.folded profile into DIR")
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    report = run_benchmarks(quick=args.quick, jobs=args.jobs,
+                            profile=not args.skip_profile,
+                            folded_dir=args.folded_dir)
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)),
         f"BENCH_{report['date']}.json")

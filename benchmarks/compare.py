@@ -14,6 +14,14 @@ across machines; raw wall seconds are shown for context only. Cells
 present in just one report are listed but not scored. Exits non-zero
 only on malformed input — this is a reporting tool, the pass/fail gate
 is ``bench_runner.py --check``.
+
+When both reports carry per-cell ``profile`` tables (bench_runner's
+profiled pass), any cell whose normalized ratio moved past
+``--threshold`` gets an *attribution* table: per-callback-site wall-ms
+deltas, so a regression names the code that slowed down instead of just
+the cell. ``--attribution-out`` writes the same tables as JSON for CI
+artifacts. A ``parallel`` section is compared too, but the speedup is
+not judged when the report records fewer CPUs than workers.
 """
 
 from __future__ import annotations
@@ -68,6 +76,109 @@ def compare_rows(old: Dict[str, object],
     return rows
 
 
+def attribution_rows(old_cell: dict, new_cell: dict,
+                     top: int = 10) -> List[Dict[str, object]]:
+    """Per-callback-site deltas explaining one cell's normalized move.
+
+    Takes the two sides' ``profile`` tables (written by bench_runner's
+    profiled pass: ``{site, calls, wall_ms, frac}`` rows) and joins them
+    on site — the union, so code that appeared or vanished still shows
+    up, at 0 ms on the side that lacks it. Rows are sorted by absolute
+    wall-ms delta and truncated to ``top``; empty when either side was
+    benchmarked with ``--skip-profile``.
+    """
+    old_prof = {r["site"]: r for r in old_cell.get("profile") or []}
+    new_prof = {r["site"]: r for r in new_cell.get("profile") or []}
+    if not old_prof or not new_prof:
+        return []
+    rows: List[Dict[str, object]] = []
+    for site in set(old_prof) | set(new_prof):
+        a = old_prof.get(site)
+        b = new_prof.get(site)
+        old_ms = a["wall_ms"] if a else 0.0
+        new_ms = b["wall_ms"] if b else 0.0
+        rows.append({
+            "site": site,
+            "old_ms": old_ms,
+            "new_ms": new_ms,
+            "delta_ms": round(new_ms - old_ms, 3),
+            "old_calls": a["calls"] if a else 0,
+            "new_calls": b["calls"] if b else 0,
+        })
+    rows.sort(key=lambda r: (-abs(r["delta_ms"]), r["site"]))
+    return rows[:top]
+
+
+def attribute(old: Dict[str, object], new: Dict[str, object],
+              rows: List[Dict[str, object]], threshold: float,
+              top: int = 10) -> Dict[str, List[Dict[str, object]]]:
+    """Attribution tables for every cell that moved past ``threshold``.
+
+    A cell qualifies when its normalized ratio left the
+    ``[1 - threshold, 1 + threshold]`` band in either direction —
+    regressions and wins both deserve an explanation.
+    """
+    old_results: Dict[str, dict] = old["results"]  # type: ignore[assignment]
+    new_results: Dict[str, dict] = new["results"]  # type: ignore[assignment]
+    out: Dict[str, List[Dict[str, object]]] = {}
+    for row in rows:
+        ratio = row["ratio"]
+        if ratio is None or abs(ratio - 1.0) <= threshold:
+            continue
+        name = str(row["name"])
+        sites = attribution_rows(old_results[name], new_results[name], top)
+        if sites:
+            out[name] = sites
+    return out
+
+
+def render_attribution(
+        attributions: Dict[str, List[Dict[str, object]]]) -> str:
+    """Per-site delta tables for the cells that moved."""
+    if not attributions:
+        return ""
+    lines = ["", "attribution (per callback-site wall-ms deltas for cells "
+             "that moved):"]
+    for name, sites in attributions.items():
+        lines.append(f"  {name}:")
+        lines.append(f"    {'site':<52} {'old ms':>9} {'new ms':>9} "
+                     f"{'delta':>9}  calls old->new")
+        for site in sites:
+            lines.append(
+                f"    {str(site['site'])[:52]:<52} "
+                f"{site['old_ms']:9.2f} {site['new_ms']:9.2f} "
+                f"{site['delta_ms']:+9.2f}  "
+                f"{site['old_calls']}->{site['new_calls']}")
+    return "\n".join(lines)
+
+
+def render_parallel(old: Dict[str, object],
+                    new: Dict[str, object]) -> str:
+    """Speedup comparison — honest about hardware.
+
+    A box timesharing more workers than cores cannot show a real
+    speedup, so when the new report records ``cpus < jobs`` the number
+    is printed but explicitly not judged.
+    """
+    p_new = new.get("parallel")
+    if not isinstance(p_new, dict):
+        return ""
+    p_old = old.get("parallel") if isinstance(old.get("parallel"), dict) \
+        else None
+    jobs = p_new.get("jobs")
+    cpus = p_new.get("cpus", new.get("cpus"))
+    lines = ["", f"parallel suite (--jobs {jobs}):"]
+    old_speedup = p_old.get("speedup") if p_old else None
+    lines.append(f"  speedup {old_speedup if old_speedup is not None else '-'}"
+                 f" -> {p_new.get('speedup')}  "
+                 f"(serial {p_new.get('serial_s')} s, parallel "
+                 f"{p_new.get('parallel_s')} s)")
+    if isinstance(cpus, int) and isinstance(jobs, int) and cpus < jobs:
+        lines.append(f"  speedup not comparable: {cpus} cpus for "
+                     f"{jobs} workers (timesharing, not parallelism)")
+    return "\n".join(lines)
+
+
 def _fmt(value: Optional[float], width: int, places: int = 2) -> str:
     if value is None:
         return "-".rjust(width)
@@ -114,6 +225,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline BENCH_*.json")
     parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="normalized-ratio band beyond which a cell "
+                             "gets a per-site attribution table "
+                             "(default 0.25)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="sites per attribution table (default 10)")
+    parser.add_argument("--attribution-out", metavar="PATH",
+                        help="also write the attribution tables as JSON "
+                             "(for CI artifacts)")
     args = parser.parse_args(argv)
     try:
         old = load_report(args.old)
@@ -121,7 +241,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"compare: {exc}", file=sys.stderr)
         return 2
-    print(render(compare_rows(old, new), args.old, args.new))
+    rows = compare_rows(old, new)
+    print(render(rows, args.old, args.new))
+    attributions = attribute(old, new, rows, args.threshold, args.top)
+    text = render_attribution(attributions)
+    if text:
+        print(text)
+    parallel = render_parallel(old, new)
+    if parallel:
+        print(parallel)
+    if args.attribution_out:
+        with open(args.attribution_out, "w") as fh:
+            json.dump({"old": args.old, "new": args.new,
+                       "threshold": args.threshold,
+                       "cells": attributions}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 

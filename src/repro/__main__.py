@@ -15,9 +15,16 @@ Telemetry (see OBSERVABILITY.md)::
     python -m repro E16 --metrics-out e16.csv      # metrics snapshot
     python -m repro E16 --trace-out e16.jsonl      # traces + spans
     python -m repro E16 --profile                  # hot-path table
+    python -m repro E16 --profile-out e16.folded   # flamegraph stacks
+    python -m repro E7 --jobs 4 --profile          # + [E7 runner: ...]
+                                                   # fork/IPC/imbalance line
 
 With none of these flags, experiments run exactly as before —
-telemetry recording is passive and results stay byte-identical.
+telemetry recording is passive and results stay byte-identical. The
+flight recorder is the always-on exception: every simulator rings its
+recent events, and an invariant violation, supervisor kill, or
+unhandled exception dumps a post-mortem JSON (``--postmortem-dir``,
+``$REPRO_POSTMORTEM_DIR``, or the working directory).
 
 Parallelism (``--jobs N``) operates at two levels, both deterministic:
 sweep-heavy experiments (E6, E7) fan their independent cells over
@@ -50,6 +57,7 @@ import io
 import os
 import sys
 import time
+import traceback
 from typing import List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
@@ -60,10 +68,12 @@ from repro.runner import (
     set_jobs,
     supervised_map,
 )
+from repro.telemetry import flightrec
 from repro.telemetry.hub import HUB
 from repro.telemetry.exporters import (
     summary_table,
     write_events_jsonl,
+    write_folded,
     write_metrics_csv,
     write_metrics_text,
 )
@@ -88,9 +98,27 @@ def _suffixed(path: str, exp_id: str, multi: bool) -> str:
     return f"{root}-{exp_id}{ext}"
 
 
+def _unwritable_reason(path: str) -> Optional[str]:
+    """Why an artifact path cannot be written, or None if it can.
+
+    Checked before any experiment runs (per-experiment suffixing keeps
+    the directory, so validating the bare path covers all artifacts).
+    """
+    if os.path.isdir(path):
+        return f"{path!r} is a directory"
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        return f"directory {directory!r} does not exist"
+    if not os.access(directory, os.W_OK | os.X_OK):
+        return f"directory {directory!r} is not writable"
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        return f"{path!r} exists and is not writable"
+    return None
+
+
 def _export_run(exp_id: str, run, metrics_out: Optional[str],
                 trace_out: Optional[str], profile: bool,
-                multi: bool) -> None:
+                multi: bool, profile_out: Optional[str] = None) -> None:
     rows = run.metrics_rows()
     if metrics_out:
         path = _suffixed(metrics_out, exp_id, multi)
@@ -102,11 +130,17 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
     if trace_out:
         path = _suffixed(trace_out, exp_id, multi)
         n = write_events_jsonl(path, tracers=run.tracers,
-                               span_trackers=run.span_trackers)
+                               span_trackers=run.span_trackers,
+                               lifecycle=run.lifecycle)
         print(f"[{exp_id} events: {n} lines -> {path}]")
+    if profile_out:
+        path = _suffixed(profile_out, exp_id, multi)
+        n = write_folded(path, profiler=run.profiler,
+                         span_trackers=run.span_trackers)
+        print(f"[{exp_id} folded: {n} stacks -> {path}]")
     print(summary_table(rows, title=f"{exp_id} telemetry summary").render())
     print(f"[{exp_id} subsystems: {', '.join(run.subsystems())}]")
-    if profile and run.profiler is not None:
+    if (profile or profile_out) and run.profiler is not None:
         prof = run.profiler
         print()
         print(f"[{exp_id} profile: {prof.events:,} events in "
@@ -120,40 +154,72 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
         if category_table.rows:
             print()
             print(category_table.render())
+    if run.lifecycle is not None and run.lifecycle.maps:
+        print(f"[{exp_id} runner: {run.lifecycle.summary_line()}]")
     print()
+
+
+def _dump_on_exception(exp_id: str, exc: BaseException) -> None:
+    """Flight-recorder post-mortem for an unhandled experiment error.
+
+    Skipped for Ctrl-C and for errors that already carry a dump (the
+    invariant checker writes its own, richer one before raising).
+    """
+    if isinstance(exc, KeyboardInterrupt):
+        return
+    if getattr(exc, "postmortem_path", None):
+        return
+    path = flightrec.write_postmortem(
+        "experiment-exception",
+        detail="".join(traceback.format_exception_only(exc)).strip(),
+        extra={"experiment": exp_id})
+    if path:
+        try:
+            exc.postmortem_path = path
+        except Exception:
+            pass
 
 
 def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
                    trace_out: Optional[str] = None, profile: bool = False,
                    multi: bool = False,
-                   exp_args: Optional[dict] = None) -> None:
+                   exp_args: Optional[dict] = None,
+                   profile_out: Optional[str] = None) -> None:
     """Run one experiment module's ``run()`` and print its tables.
 
     When any telemetry output is requested, the run is bracketed with
     :meth:`TelemetryHub.start_run` / ``finish_run`` so every simulator
     the experiment builds is collected, then artifacts are written.
     ``exp_args`` are passed through to the module's ``run()`` (the CLI's
-    ``--exp-arg KEY=VAL``).
+    ``--exp-arg KEY=VAL``). An unhandled exception writes a
+    flight-recorder post-mortem before propagating.
     """
     module = ALL_EXPERIMENTS[exp_id]
     kwargs = exp_args or {}
-    collect = bool(metrics_out or trace_out or profile)
+    collect = bool(metrics_out or trace_out or profile or profile_out)
     started = time.time()
     print(f"=== {exp_id}: {module.__doc__.strip().splitlines()[0]}")
     print()
     if collect:
-        HUB.start_run(profile=profile, trace=bool(trace_out))
+        HUB.start_run(profile=profile or bool(profile_out),
+                      trace=bool(trace_out))
         try:
             result = module.run(**kwargs)
-        except BaseException:
+        except BaseException as exc:
             HUB.abort_run()
+            _dump_on_exception(exp_id, exc)
             raise
         run = HUB.finish_run()
     else:
-        result = module.run(**kwargs)
+        try:
+            result = module.run(**kwargs)
+        except BaseException as exc:
+            _dump_on_exception(exp_id, exc)
+            raise
     _print_result(result)
     if collect:
-        _export_run(exp_id, run, metrics_out, trace_out, profile, multi)
+        _export_run(exp_id, run, metrics_out, trace_out, profile, multi,
+                    profile_out=profile_out)
     print(f"[{exp_id} done in {time.time() - started:.1f} s]")
     print()
 
@@ -170,11 +236,13 @@ _COST_HINTS = {"E8": 7.0, "E9": 2.5, "E5": 2.0, "F1": 0.6, "E16": 0.1}
 def _run_captured(task) -> str:
     """Worker body for experiment-level fan-out: run one experiment with
     stdout captured, so the parent can reprint outputs in id order."""
-    exp_id, metrics_out, trace_out, profile, multi = task
+    exp_id, metrics_out, trace_out, profile, multi, profile_out, \
+        exp_args = task
     buf = io.StringIO()
     with contextlib.redirect_stdout(buf):
         run_experiment(exp_id, metrics_out=metrics_out,
-                       trace_out=trace_out, profile=profile, multi=multi)
+                       trace_out=trace_out, profile=profile, multi=multi,
+                       profile_out=profile_out, exp_args=exp_args)
     return buf.getvalue()
 
 
@@ -183,7 +251,9 @@ def _run_all_parallel(ids: List[str], jobs: int,
                       profile: bool,
                       task_timeout_s: Optional[float] = None,
                       retries: int = 0,
-                      checkpoint: Optional[SweepCheckpoint] = None) -> None:
+                      checkpoint: Optional[SweepCheckpoint] = None,
+                      profile_out: Optional[str] = None,
+                      exp_args: Optional[dict] = None) -> None:
     """Two-phase supervised schedule over ``ids`` (see module docstring).
 
     Cell-parallel experiments run in the parent first, their sweeps
@@ -206,12 +276,14 @@ def _run_all_parallel(ids: List[str], jobs: int,
         buf = io.StringIO()
         with contextlib.redirect_stdout(buf):
             run_experiment(exp_id, metrics_out=metrics_out,
-                           trace_out=trace_out, profile=profile, multi=multi)
+                           trace_out=trace_out, profile=profile, multi=multi,
+                           profile_out=profile_out, exp_args=exp_args)
         outputs[exp_id] = buf.getvalue()
         if checkpoint is not None:
             checkpoint.record(key, outputs[exp_id])
     rest = [i for i in ids if i not in CELL_PARALLEL_IDS]
-    tasks = [(i, metrics_out, trace_out, profile, multi) for i in rest]
+    tasks = [(i, metrics_out, trace_out, profile, multi, profile_out,
+              exp_args) for i in rest]
     texts = supervised_map(_run_captured, tasks, jobs=jobs,
                            costs=[_COST_HINTS.get(i, 1.0) for i in rest],
                            labels=[f"exp:{i}" for i in rest],
@@ -251,6 +323,14 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="time every event callback; print events/sec "
                              "and the top-10 hot paths")
+    parser.add_argument("--profile-out", metavar="PATH",
+                        help="write the profile as collapsed stacks "
+                             "(flamegraph.pl/speedscope format) per "
+                             "experiment; implies profiling")
+    parser.add_argument("--postmortem-dir", metavar="DIR",
+                        help="directory for flight-recorder post-mortem "
+                             "dumps (default: $REPRO_POSTMORTEM_DIR or "
+                             "the current directory; created if missing)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan experiments and sweep cells over N "
                              "worker processes (default 1 = serial; "
@@ -283,10 +363,31 @@ def main(argv: List[str] = None) -> int:
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error(f"--task-timeout must be positive, "
                      f"got {args.task_timeout}")
-    if args.resume and (args.metrics_out or args.trace_out or args.profile):
+    if args.resume and (args.metrics_out or args.trace_out or args.profile
+                        or args.profile_out):
         parser.error("--resume cannot be combined with telemetry flags "
-                     "(--metrics-out/--trace-out/--profile): replayed "
-                     "experiments would not re-export their telemetry")
+                     "(--metrics-out/--trace-out/--profile/--profile-out): "
+                     "replayed experiments would not re-export their "
+                     "telemetry")
+    # fail fast on unwritable artifact paths: a typo'd directory must
+    # error out now, not as a traceback after minutes of simulation
+    for flag, value in (("--metrics-out", args.metrics_out),
+                        ("--trace-out", args.trace_out),
+                        ("--profile-out", args.profile_out)):
+        if value:
+            problem = _unwritable_reason(value)
+            if problem:
+                parser.error(f"{flag}: {problem}")
+    if args.postmortem_dir:
+        try:
+            os.makedirs(args.postmortem_dir, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"--postmortem-dir: cannot create "
+                         f"{args.postmortem_dir!r}: {exc}")
+        flightrec.set_dump_dir(args.postmortem_dir)
+        # spawn-method workers don't inherit module state; the env var
+        # reaches them either way
+        os.environ["REPRO_POSTMORTEM_DIR"] = args.postmortem_dir
     exp_args = {}
     for pair in args.exp_args:
         key, sep, value = pair.partition("=")
@@ -318,17 +419,19 @@ def main(argv: List[str] = None) -> int:
 
     supervise = (args.resume is not None or args.retries > 0
                  or args.task_timeout is not None)
-    if exp_args and supervise:
-        parser.error("--exp-arg cannot be combined with "
-                     "--resume/--retries/--task-timeout")
-    if (args.jobs > 1 and len(ids) > 1) or (supervise and not exp_args):
+    if exp_args and args.resume:
+        parser.error("--exp-arg cannot be combined with --resume: the "
+                     "checkpoint journal is keyed by experiment id only")
+    if (args.jobs > 1 and len(ids) > 1) or supervise:
         checkpoint = (SweepCheckpoint(args.resume, run_id="repro-cli")
                       if args.resume else None)
         try:
             _run_all_parallel(ids, args.jobs, args.metrics_out,
                               args.trace_out, args.profile,
                               task_timeout_s=args.task_timeout,
-                              retries=args.retries, checkpoint=checkpoint)
+                              retries=args.retries, checkpoint=checkpoint,
+                              profile_out=args.profile_out,
+                              exp_args=exp_args or None)
         finally:
             if checkpoint is not None:
                 checkpoint.close()
@@ -336,7 +439,8 @@ def main(argv: List[str] = None) -> int:
     for exp_id in ids:
         run_experiment(exp_id, metrics_out=args.metrics_out,
                        trace_out=args.trace_out, profile=args.profile,
-                       multi=len(ids) > 1, exp_args=exp_args or None)
+                       multi=len(ids) > 1, exp_args=exp_args or None,
+                       profile_out=args.profile_out)
     return 0
 
 

@@ -266,10 +266,26 @@ class InvariantChecker:
         self._sweeping = False
 
     def verify(self) -> None:
-        """Final audit: run every check, raise if anything ever broke."""
+        """Final audit: run every check, raise if anything ever broke.
+
+        Before raising, the watched simulator's flight recorder is
+        dumped — last events, metrics snapshot, high-water marks plus
+        the violation list — and the error carries ``postmortem_path``
+        so outer handlers (the CLI) don't dump a second time.
+        """
         self.check_now()
         if self.violations:
-            raise InvariantError(self.violations)
+            error = InvariantError(self.violations)
+            from repro.telemetry import flightrec
+            path = flightrec.write_postmortem(
+                "invariant-violation", detail=str(error), sims=[self.sim],
+                extra={"violations": [
+                    {"time_s": v.time_s, "check": v.check,
+                     "subject": v.subject, "detail": v.detail}
+                    for v in self.violations[:100]]})
+            if path:
+                error.postmortem_path = path
+            raise error
 
     def __repr__(self) -> str:
         return (f"<InvariantChecker checks={len(self._checks)} "

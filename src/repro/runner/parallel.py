@@ -38,7 +38,10 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
+import pickle
 import signal
+import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -164,24 +167,41 @@ def _invoke(packed):
 def _invoke_collecting(packed):
     """Worker body, telemetry mode: bracket the task with a hub run.
 
-    Returns ``(result, payload)`` where payload is the picklable
-    per-simulator telemetry the parent splices into its own run.
+    Returns ``(slot, blob, timing)``: the slot so the parent can record
+    arrivals in completion order, the pickled ``(result, payload)`` pair,
+    and a wall-clock timing dict for runner-lifecycle tracing. Pickling
+    happens *here*, timed and sized, so the pipe carries one cheap bytes
+    object and the serialize cost is measured exactly once where it is
+    paid; ``time.monotonic`` is CLOCK_MONOTONIC on Linux, comparable
+    across forked processes, so the parent can compute queue-wait and
+    ship-home latencies from these stamps.
     """
     slot, fn, item, profile, trace = packed
     if HUB.active:  # inherited via fork from a mid-run parent
         HUB.abort_run()
     HUB.start_run(profile=profile, trace=trace)
+    started_at = time.monotonic()
     try:
         result = fn(item)
     except Exception as exc:
+        exec_s = time.monotonic() - started_at
         HUB.abort_run()
-        failure = _WorkerFailure(slot, type(exc).__name__,
-                                 traceback.format_exc())
-        return failure, None
+        pair = (_WorkerFailure(slot, type(exc).__name__,
+                               traceback.format_exc()), None)
     except BaseException:
         HUB.abort_run()
         raise
-    return result, HUB.export_worker_run()
+    else:
+        exec_s = time.monotonic() - started_at
+        pair = (result, HUB.export_worker_run())
+    t0 = time.monotonic()
+    blob = pickle.dumps(pair, protocol=pickle.HIGHEST_PROTOCOL)
+    timing = {"pid": os.getpid(), "started_at": started_at,
+              "exec_s": exec_s,
+              "serialize_s": time.monotonic() - t0,
+              "serialize_bytes": len(blob),
+              "finished_at": time.monotonic()}
+    return slot, blob, timing
 
 
 def _pool_context():
@@ -251,11 +271,47 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
         worker = _invoke
 
     ctx = _pool_context()
+    lifecycle = HUB.lifecycle if collecting else None
+    map_started = time.monotonic()
     pool = ctx.Pool(min(n, len(items)), initializer=_init_worker)
+    fork_s = time.monotonic() - map_started
     _ACTIVE_POOLS.add(pool)
+    by_item: List[Any] = [None] * len(items)
+    record = None
+    tasks = {}
     try:
         with pool:
-            raw = pool.map(worker, packed, chunksize=1)
+            if not collecting:
+                raw = pool.map(worker, packed, chunksize=1)
+                # undo the submission reordering
+                for slot, value in zip(order, raw):
+                    by_item[slot] = value
+            else:
+                # completion-order arrivals so ship-home latency is
+                # measured per task; slots undo the reordering
+                if lifecycle is not None:
+                    record = lifecycle.begin_map("pool",
+                                                 min(n, len(items)))
+                    record.started_at = map_started
+                    record.fork_s = fork_s
+                for slot, blob, timing in pool.imap_unordered(
+                        worker, packed, chunksize=1):
+                    received = time.monotonic()
+                    by_item[slot] = pickle.loads(blob)
+                    if record is not None:
+                        task = lifecycle.record_task(
+                            record, slot, str(items[slot])[:80],
+                            timing["pid"],
+                            queue_wait_s=max(
+                                0.0, timing["started_at"] - map_started),
+                            exec_s=timing["exec_s"],
+                            serialize_s=timing["serialize_s"],
+                            serialize_bytes=timing["serialize_bytes"],
+                            ship_s=max(
+                                0.0, received - timing["finished_at"]))
+                        # unpickling the blob is part of result merging
+                        task.merge_s = time.monotonic() - received
+                        tasks[slot] = task
     finally:
         # ``with`` terminated the pool on any exit path (incl. SIGINT in
         # the parent); make sure the workers are fully reaped before we
@@ -263,18 +319,20 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
         pool.join()
         _ACTIVE_POOLS.discard(pool)
 
-    # undo the submission reordering
-    by_item: List[Any] = [None] * len(items)
-    for slot, value in zip(order, raw):
-        by_item[slot] = value
     _raise_first_failure(by_item, items, collecting)
 
     if not collecting:
         return by_item
     results = []
-    for result, payload in by_item:
+    for slot, (result, payload) in enumerate(by_item):
+        t0 = time.monotonic()
         HUB.absorb_worker_run(payload)
+        task = tasks.get(slot)
+        if task is not None:
+            task.merge_s += time.monotonic() - t0
         results.append(result)
+    if record is not None:
+        lifecycle.finish_map(record)
     return results
 
 

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import signal
 import threading
 import time
@@ -56,6 +57,7 @@ from multiprocessing.connection import wait as _conn_wait
 
 from repro.runner.parallel import _pool_context, get_jobs, in_worker, \
     mark_worker
+from repro.telemetry import flightrec
 from repro.telemetry.hub import HUB, ambient_registry
 
 __all__ = ["SupervisedRunner", "SupervisorReport", "TaskFailedError",
@@ -206,10 +208,28 @@ def _worker_main(conn, heartbeat_s: float) -> None:
 
     A side thread emits the beats; sends are serialized with a lock so
     a beat never interleaves a result mid-pickle.
+
+    When the supervisor kills this worker (deadline/heartbeat), the
+    first signal is SIGTERM: the handler below writes a flight-recorder
+    post-mortem — the black box of whatever the worker was doing — then
+    exits. SIGKILL follows after a grace period only if the worker is
+    too wedged to run the handler.
     """
     mark_worker()
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+    def _on_sigterm(signum, frame):
+        flightrec.write_postmortem(
+            "supervisor-kill",
+            detail=f"worker pid {os.getpid()} terminated by supervisor "
+                   f"(deadline or heartbeat timeout)")
+        os._exit(70)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
     send_lock = threading.Lock()
@@ -244,12 +264,24 @@ def _worker_main(conn, heartbeat_s: float) -> None:
                     if HUB.active:  # inherited via fork mid-run
                         HUB.abort_run()
                     HUB.start_run(profile=profile, trace=trace)
+                    started_at = time.monotonic()
                     try:
                         result = fn(item)
                     except BaseException:
                         HUB.abort_run()
                         raise
-                    payload = (result, HUB.export_worker_run())
+                    exec_s = time.monotonic() - started_at
+                    # pickle here, timed and sized, for runner-lifecycle
+                    # tracing; the pipe then ships one cheap bytes object
+                    t0 = time.monotonic()
+                    blob = pickle.dumps((result, HUB.export_worker_run()),
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    payload = (blob, {
+                        "pid": os.getpid(), "started_at": started_at,
+                        "exec_s": exec_s,
+                        "serialize_s": time.monotonic() - t0,
+                        "serialize_bytes": len(blob),
+                        "finished_at": time.monotonic()})
                 else:
                     payload = fn(item)
             except Exception as exc:
@@ -305,11 +337,20 @@ class _Worker:
         """Mark idle after a result arrived."""
         self.token = self.slot = None
 
-    def kill(self) -> None:
-        """SIGKILL the process and drop it from the live registry."""
+    def kill(self, grace_s: float = 1.0) -> None:
+        """Terminate the process and drop it from the live registry.
+
+        SIGTERM first: the worker's handler writes its flight-recorder
+        post-mortem (the black box of the hung/doomed task) and exits.
+        SIGKILL follows after ``grace_s`` only if the worker is wedged
+        too hard to run the handler.
+        """
         try:
             if self.proc.is_alive():
-                self.proc.kill()
+                self.proc.terminate()
+                self.proc.join(grace_s)
+                if self.proc.is_alive():
+                    self.proc.kill()
             self.proc.join()
         finally:
             _LIVE_WORKERS.discard(self.proc)
@@ -372,9 +413,15 @@ def supervised_map(fn: Callable[[Any], Any], items: Sequence[Any],
         TaskFailedError: a task failed ``retries + 1`` times; all
             workers are killed and joined before it propagates.
 
-    Serial mode (``jobs=1``, nested in a worker, or a single pending
-    item) executes inline with the same retry/annotation/checkpoint
-    semantics but cannot preempt hangs — deadlines need workers.
+    Serial mode (``jobs=1`` or nested in a worker) executes inline with
+    the same retry/annotation/checkpoint semantics but cannot preempt
+    hangs — deadlines need workers. A single pending item at ``jobs>1``
+    therefore still gets a worker, so ``--task-timeout`` protects
+    one-experiment runs too.
+
+    With an active hub run, each map also records runner-lifecycle
+    timings (fork, queue wait, exec, pickle, ship, merge) into
+    ``HUB.lifecycle`` — see OBSERVABILITY.md.
     """
     items = list(items)
     n = jobs if jobs is not None else get_jobs()
@@ -425,20 +472,30 @@ def supervised_map(fn: Callable[[Any], Any], items: Sequence[Any],
         if on_result is not None:
             on_result(slot, labels[slot], results[slot])
 
-    if n == 1 or in_worker() or len(pending) < 2:
+    if n == 1 or in_worker():
         _serial_supervised(fn, items, labels, pending, retries, report,
                            collecting, finish)
+        record = None
     else:
-        _parallel_supervised(fn, items, labels, pending, costs, n,
-                             task_timeout_s, retries, heartbeat_s,
-                             heartbeat_timeout_s, report, collecting,
-                             finish)
+        record = _parallel_supervised(fn, items, labels, pending, costs, n,
+                                      task_timeout_s, retries, heartbeat_s,
+                                      heartbeat_timeout_s, report,
+                                      collecting, finish)
 
     if collecting:
+        by_slot = ({task.slot: task for task in record.tasks}
+                   if record is not None else {})
         for slot in range(len(items)):
             payload = telemetry_payloads[slot]
             if payload is not None:
+                t0 = time.monotonic()
                 HUB.absorb_worker_run(payload)
+                task = by_slot.get(slot)
+                if task is not None:
+                    task.merge_s += time.monotonic() - t0
+        lifecycle = HUB.lifecycle
+        if record is not None and lifecycle is not None:
+            lifecycle.finish_map(record)
     return results
 
 
@@ -480,8 +537,12 @@ def _serial_supervised(fn, items, labels, pending, retries, report,
 def _parallel_supervised(fn, items, labels, pending, costs, jobs,
                          task_timeout_s, retries, heartbeat_s,
                          heartbeat_timeout_s, report, collecting,
-                         finish) -> None:
-    """The supervised pool: assign, watch, kill, retry."""
+                         finish):
+    """The supervised pool: assign, watch, kill, retry.
+
+    Returns the map's lifecycle record (or None when not collecting) so
+    the caller can add hub-merge timings and close it.
+    """
     beat_limit = (heartbeat_timeout_s if heartbeat_timeout_s is not None
                   else max(4.0 * heartbeat_s, 5.0))
     queue = list(pending)
@@ -493,8 +554,16 @@ def _parallel_supervised(fn, items, labels, pending, costs, jobs,
     history: Dict[int, List[TaskFailure]] = {slot: [] for slot in pending}
     profile, trace = HUB.profiling, HUB.tracing
     ctx = _pool_context()
+    lifecycle = HUB.lifecycle if collecting else None
+    map_started = time.monotonic()
     workers: List[_Worker] = [_Worker(ctx, heartbeat_s)
                               for _ in range(min(jobs, len(pending)))]
+    record = None
+    if lifecycle is not None:
+        record = lifecycle.begin_map("supervised",
+                                     min(jobs, len(pending)))
+        record.started_at = map_started
+        record.fork_s = time.monotonic() - map_started
     tokens = iter(range(1, 1 << 62))
     outstanding = len(pending)
 
@@ -517,9 +586,16 @@ def _parallel_supervised(fn, items, labels, pending, costs, jobs,
                 workers.append(worker)
 
     def fail_task(worker: _Worker, kind: str, detail: str) -> _Worker:
-        """Record a crash/hang, kill the worker, retry or abort."""
+        """Record a crash/hang, kill the worker, retry or abort.
+
+        Killing starts with SIGTERM so the worker writes its own
+        flight-recorder dump; the parent then records its side of the
+        story (which task, which attempt, how long) as a second
+        post-mortem — the pair is the black box of the failure.
+        """
         nonlocal outstanding
         slot = worker.slot
+        pid = worker.proc.pid
         elapsed = time.monotonic() - worker.started_at
         worker.kill()
         workers.remove(worker)
@@ -530,6 +606,12 @@ def _parallel_supervised(fn, items, labels, pending, costs, jobs,
                               detail=detail, elapsed_s=elapsed)
         report.record(failure)
         history[slot].append(failure)
+        flightrec.write_postmortem(
+            f"supervisor-{kind}", detail=str(failure), sims=[],
+            extra={"task": {"label": failure.label, "slot": slot,
+                            "attempt": failure.attempt,
+                            "elapsed_s": failure.elapsed_s,
+                            "worker_pid": pid}})
         if attempts[slot] > retries:
             raise TaskFailedError(failure, items[slot], history[slot])
         report.retries += 1
@@ -568,6 +650,23 @@ def _parallel_supervised(fn, items, labels, pending, costs, jobs,
                     continue  # stale result from a superseded attempt
                 if kind == "done":
                     _mk, _token, slot, value = message
+                    received = time.monotonic()
+                    if collecting:
+                        blob, timing = value
+                        value = pickle.loads(blob)
+                        if record is not None:
+                            task = lifecycle.record_task(
+                                record, slot, labels[slot], timing["pid"],
+                                queue_wait_s=max(
+                                    0.0,
+                                    timing["started_at"] - map_started),
+                                exec_s=timing["exec_s"],
+                                serialize_s=timing["serialize_s"],
+                                serialize_bytes=timing["serialize_bytes"],
+                                ship_s=max(0.0, received
+                                           - timing["finished_at"]))
+                            # unpickling is part of merging the result
+                            task.merge_s = time.monotonic() - received
                     worker.settle()
                     finish(slot, value)
                     outstanding -= 1
@@ -617,6 +716,7 @@ def _parallel_supervised(fn, items, labels, pending, costs, jobs,
     finally:
         for worker in workers:
             worker.stop()
+    return record
 
 
 class SupervisedRunner:

@@ -9,6 +9,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.simcore.events import AllOf, AnyOf, Event, Timeout
 from repro.simcore.rng import RngRegistry
 from repro.telemetry import Telemetry
+from repro.telemetry import flightrec
 from repro.telemetry.hub import HUB
 
 
@@ -74,6 +75,14 @@ class Simulator:
         #: always-on metrics + span bundle (recording is passive: no RNG,
         #: no scheduling — instrumented runs stay bit-identical)
         self.telemetry = Telemetry(lambda: self.now)
+        #: flight-recorder ring of the last N dispatched events, written
+        #: in place by the dispatch loop (two slot stores + an index
+        #: bump per event — no allocation, no telemetry calls) and read
+        #: only by post-mortem dumps (repro.telemetry.flightrec)
+        self._fr_ring: List[list] = [[0.0, None]
+                                     for _ in range(flightrec.FLIGHT_CAPACITY)]
+        self._fr_idx = 0
+        flightrec.track(self)
         HUB.adopt(self)
 
     # tracer/profiler stay plain assignable attributes to callers, but
@@ -218,6 +227,12 @@ class Simulator:
                 continue
             self.now = time
             self.events_executed += 1
+            slot = self._fr_ring[self._fr_idx]
+            slot[0] = time
+            slot[1] = fn
+            self._fr_idx += 1
+            if self._fr_idx == len(self._fr_ring):
+                self._fr_idx = 0
             if self._profiler is None:
                 fn(*args)
             else:
@@ -244,6 +259,12 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         bounded = max_events is not None
+        # flight-recorder ring, bound locally like the heap: recording an
+        # event is two in-place slot stores and an index bump (no
+        # allocation, no telemetry calls — fastpath tests still hold)
+        fr_ring = self._fr_ring
+        fr_cap = len(fr_ring)
+        fr_idx = self._fr_idx
         try:
             while heap:
                 entry = heap[0]
@@ -259,6 +280,12 @@ class Simulator:
                 self.now = time
                 self.events_executed += 1
                 executed += 1
+                slot = fr_ring[fr_idx]
+                slot[0] = time
+                slot[1] = fn
+                fr_idx += 1
+                if fr_idx == fr_cap:
+                    fr_idx = 0
                 if self._profiler is None:
                     fn(*args)
                 else:
@@ -267,8 +294,23 @@ class Simulator:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
+            self._fr_idx = fr_idx
             self._running = False
         return self.now
+
+    def flight_events(self) -> List[Tuple[float, Callable]]:
+        """The flight-recorder tail: recent ``(time, callback)`` dispatches.
+
+        Oldest first, at most ``flightrec.FLIGHT_CAPACITY`` entries (the
+        ring's size at construction). Read by post-mortem dumps; callers
+        must not mutate the returned callbacks.
+        """
+        ring = self._fr_ring
+        cap = len(ring)
+        count = min(self.events_executed, cap)
+        start = (self._fr_idx - count) % cap
+        return [(ring[(start + k) % cap][0], ring[(start + k) % cap][1])
+                for k in range(count)]
 
     @property
     def queue_length(self) -> int:

@@ -22,7 +22,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.metrics.tables import ResultTable
 
 __all__ = ["tagged_rows", "write_metrics_csv", "write_metrics_text",
-           "write_events_jsonl", "summary_table", "METRICS_CSV_COLUMNS"]
+           "write_events_jsonl", "write_folded", "summary_table",
+           "METRICS_CSV_COLUMNS"]
 
 #: Column order of the metrics CSV snapshot.
 METRICS_CSV_COLUMNS = ["sim", "kind", "name", "labels", "value", "count",
@@ -63,18 +64,28 @@ def write_metrics_csv(rows: Iterable[Dict[str, Any]], path: str) -> int:
     return count
 
 
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be backslash-escaped."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def write_metrics_text(rows: Iterable[Dict[str, Any]], path: str) -> int:
     """Write a Prometheus-style text snapshot; returns the line count.
 
     Counters/gauges become ``name{labels} value``; histograms expand to
-    ``_count``/``_sum`` plus ``{quantile="..."}`` series.
+    ``_count``/``_sum`` plus ``{quantile="..."}`` series. Label values
+    are escaped per the text exposition format, so values carrying
+    quotes, backslashes, or newlines stay parseable.
     """
     lines: List[str] = []
     for row in rows:
         labels = dict(row.get("labels", {}))
         if row.get("sim"):
             labels["sim"] = row["sim"]
-        inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                         for k, v in sorted(labels.items()))
         base = row["name"].replace(".", "_")
         if row["kind"] == "histogram":
             lines.append(f"{base}_count{{{inner}}} {row['count']}")
@@ -92,11 +103,16 @@ def write_metrics_text(rows: Iterable[Dict[str, Any]], path: str) -> int:
 
 def write_events_jsonl(path: str,
                        tracers: Sequence[Tuple[str, Any]] = (),
-                       span_trackers: Sequence[Tuple[str, Any]] = ()) -> int:
+                       span_trackers: Sequence[Tuple[str, Any]] = (),
+                       lifecycle: Any = None) -> int:
     """Write trace events and finished spans as JSONL; returns line count.
 
     ``tracers``/``span_trackers`` are (tag, Tracer) / (tag, SpanTracker)
     pairs; lines are grouped by source and time-ordered within each.
+    ``lifecycle`` (a :class:`~repro.telemetry.lifecycle.RunnerLifecycle`)
+    appends the run's runner-lifecycle records (``"type": "runner"``) —
+    the wall-clock parallel-path timings, present only for ``--jobs``
+    runs, so byte-identity tooling filters on the type.
     """
     count = 0
     with open(path, "w") as fh:
@@ -115,7 +131,68 @@ def write_events_jsonl(path: str,
                 record["sim"] = tag
                 fh.write(json.dumps(record, default=str) + "\n")
                 count += 1
+        if lifecycle is not None:
+            for record in lifecycle.records():
+                fh.write(json.dumps(record, default=str) + "\n")
+                count += 1
     return count
+
+
+def _folded_frames(site: str) -> str:
+    """``module.qualname`` -> semicolon-joined frames for folded stacks."""
+    return site.replace(";", "_").replace(".", ";")
+
+
+def write_folded(path: str, profiler: Any = None,
+                 span_trackers: Sequence[Tuple[str, Any]] = ()) -> int:
+    """Write collapsed-stack ("folded") lines; returns the line count.
+
+    The format every flamegraph consumer reads (flamegraph.pl,
+    speedscope): ``frame;frame;leaf <count>``, one stack per line.
+    Two stack families are emitted:
+
+    * ``wall;<module frames>;<qualname>`` — the profiler's per-callback-
+      site wall time, in integer microseconds (real time);
+    * ``sim:<tag>;<span name chain>`` — each simulator's finished span
+      tree (causal parent chain), in integer microseconds of *simulated*
+      time, self-time per node (children subtracted, clamped at zero).
+    """
+    lines: List[str] = []
+    if profiler is not None:
+        for stats in profiler.top_sites(len(profiler.sites)):
+            us = int(round(stats.wall_s * 1e6))
+            if us > 0:
+                lines.append(f"wall;{_folded_frames(stats.site)} {us}")
+    for tag, tracker in span_trackers:
+        finished = list(tracker.finished)
+        by_id = {span.span_id: span for span in finished}
+        child_time: Dict[int, float] = {}
+        for span in finished:
+            if span.parent_id is not None and span.parent_id in by_id:
+                child_time[span.parent_id] = \
+                    child_time.get(span.parent_id, 0.0) + \
+                    (span.duration_s or 0.0)
+        stacks: Dict[str, int] = {}
+        for span in finished:
+            names = [span.name]
+            seen = {span.span_id}
+            parent = by_id.get(span.parent_id)
+            while parent is not None and parent.span_id not in seen:
+                names.append(parent.name)
+                seen.add(parent.span_id)
+                parent = by_id.get(parent.parent_id)
+            names.reverse()
+            self_s = max(0.0, (span.duration_s or 0.0)
+                         - child_time.get(span.span_id, 0.0))
+            us = int(round(self_s * 1e6))
+            if us > 0:
+                stack = f"sim:{tag};" + ";".join(
+                    name.replace(";", "_") for name in names)
+                stacks[stack] = stacks.get(stack, 0) + us
+        lines.extend(f"{stack} {us}" for stack, us in sorted(stacks.items()))
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
 
 
 def summary_table(rows: Sequence[Dict[str, Any]],

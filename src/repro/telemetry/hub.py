@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from repro.telemetry.lifecycle import RunnerLifecycle
 from repro.telemetry.profiler import RunProfiler
 from repro.telemetry.registry import MetricsRegistry
 
@@ -40,11 +41,16 @@ class RunTelemetry:
                  profiler: Optional[RunProfiler],
                  heap_high_water: int = 0,
                  agent_peak_queue: int = 0,
-                 agents_shed: int = 0) -> None:
+                 agents_shed: int = 0,
+                 lifecycle: Optional[RunnerLifecycle] = None) -> None:
         self.registries = registries
         self.span_trackers = span_trackers
         self.tracers = tracers
         self.profiler = profiler
+        #: runner-lifecycle log of the run's parallel maps (always
+        #: present; empty — no maps — for serial runs)
+        self.lifecycle = lifecycle if lifecycle is not None \
+            else RunnerLifecycle()
         #: largest run-queue footprint any collected simulator reached
         #: (max over sims of ``Simulator.heap_high_water``)
         self.heap_high_water = heap_high_water
@@ -102,11 +108,21 @@ class TelemetryHub:
         self._sims: List[Any] = []
         self._shared = MetricsRegistry()
         self._worker_shared: List[MetricsRegistry] = []
+        self._lifecycle: Optional[RunnerLifecycle] = None
 
     @property
     def registry(self) -> MetricsRegistry:
         """The ambient registry for sim-less components during a run."""
         return self._shared
+
+    @property
+    def lifecycle(self) -> Optional[RunnerLifecycle]:
+        """The active run's runner-lifecycle log (None outside a run).
+
+        The parallel runners record fork/queue/exec/pickle/ship/merge
+        timings here; serial paths never touch it.
+        """
+        return self._lifecycle if self.active else None
 
     @property
     def profiling(self) -> bool:
@@ -132,6 +148,7 @@ class TelemetryHub:
         self._sims = []
         self._shared = MetricsRegistry()
         self._worker_shared = []
+        self._lifecycle = RunnerLifecycle()
 
     def adopt(self, sim: Any) -> None:
         """Called by every Simulator constructor; no-op outside a run."""
@@ -176,16 +193,24 @@ class TelemetryHub:
             registries.append(("shared", self._shared))
         for index, registry in enumerate(self._worker_shared):
             registries.append((f"shared-w{index}", registry))
+        lifecycle = self._lifecycle or RunnerLifecycle()
+        if len(lifecycle.registry):
+            # tagged "runner" so byte-identity checks can exclude the one
+            # family that legitimately differs between serial and --jobs
+            registries.append(("runner", lifecycle.registry))
         self._sims = []
         self._worker_shared = []
+        self._lifecycle = None
         return RunTelemetry(registries, span_trackers, tracers, profiler,
-                            heap_high_water, agent_peak_queue, agents_shed)
+                            heap_high_water, agent_peak_queue, agents_shed,
+                            lifecycle=lifecycle)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
         self.active = False
         self._sims = []
         self._worker_shared = []
+        self._lifecycle = None
 
     # -- worker shipping (see repro.runner.parallel) -----------------------
 
@@ -209,6 +234,7 @@ class TelemetryHub:
         }
         self.active = False
         self._sims = []
+        self._lifecycle = None
         return payload
 
     def absorb_worker_run(self, payload: dict) -> None:

@@ -199,6 +199,10 @@ class SpanTracker:
         """Spans begun but not yet ended."""
         return len(self._open)
 
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended, in begin order (post-mortems)."""
+        return sorted(self._open.values(), key=lambda s: s.span_id)
+
     def spans(self, name: Optional[str] = None) -> List[Span]:
         """Finished spans (optionally one procedure), in end order."""
         return [s for s in self.finished if name is None or s.name == name]

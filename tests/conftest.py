@@ -1,0 +1,21 @@
+"""Shared test fixtures.
+
+Flight-recorder post-mortems default to the current directory; tests
+that intentionally crash experiments or kill workers would litter the
+repo root with ``postmortem-*.json``, so every test gets a throwaway
+dump directory unless it sets its own.
+"""
+
+import pytest
+
+from repro.telemetry import flightrec
+
+
+@pytest.fixture(autouse=True)
+def _postmortems_to_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_POSTMORTEM_DIR", str(tmp_path))
+    # tests drive main() which may override via --postmortem-dir; reset
+    # module state so one test's choice never leaks into the next
+    flightrec.set_dump_dir(None)
+    yield
+    flightrec.set_dump_dir(None)

@@ -10,7 +10,8 @@ import pytest
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
                                 "benchmarks"))
 
-from compare import compare_rows, load_report, render  # noqa: E402
+from compare import (attribute, attribution_rows, compare_rows,  # noqa: E402
+                     load_report, render, render_parallel)
 
 REPO = os.path.join(os.path.dirname(__file__), "..")
 
@@ -49,6 +50,74 @@ def test_load_report_rejects_non_bench_json(tmp_path):
     path.write_text(json.dumps({"hello": 1}))
     with pytest.raises(ValueError):
         load_report(str(path))
+
+
+def _prof(*sites):
+    return [{"site": site, "calls": calls, "wall_ms": ms,
+             "frac": 0.5} for site, calls, ms in sites]
+
+
+def test_attribution_names_the_site_that_moved():
+    old = _report(E7=(0.25, 5.0, 300))
+    new = _report(E7=(0.50, 10.0, 300))
+    old["results"]["E7"]["profile"] = _prof(
+        ("repro.epc.agents.ControlAgent._finish", 100, 80.0),
+        ("repro.net.links.Link.send", 50, 20.0))
+    new["results"]["E7"]["profile"] = _prof(
+        ("repro.epc.agents.ControlAgent._finish", 100, 200.0),
+        ("repro.epc.ue.UserEquipment.start_attach", 10, 5.0))
+    rows = compare_rows(old, new)
+    tables = attribute(old, new, rows, threshold=0.25)
+    assert list(tables) == ["E7"]
+    sites = tables["E7"]
+    # biggest mover first; vanished/appeared sites present at 0 ms
+    assert sites[0]["site"] == "repro.epc.agents.ControlAgent._finish"
+    assert sites[0]["delta_ms"] == pytest.approx(120.0)
+    by_site = {s["site"]: s for s in sites}
+    assert by_site["repro.net.links.Link.send"]["new_ms"] == 0.0
+    assert by_site["repro.epc.ue.UserEquipment.start_attach"]["old_ms"] == 0.0
+
+
+def test_attribution_skips_cells_inside_the_band_and_unprofiled():
+    old = _report(F1=(0.5, 10.0, 8), E7=(0.25, 5.0, 300))
+    new = _report(F1=(0.5, 10.5, 8), E7=(0.50, 10.0, 300))
+    old["results"]["F1"]["profile"] = _prof(("a.b", 1, 1.0))
+    new["results"]["F1"]["profile"] = _prof(("a.b", 1, 1.0))
+    # E7 doubled but has no profile tables -> no attribution either way
+    tables = attribute(old, new, compare_rows(old, new), threshold=0.25)
+    assert tables == {}
+    assert attribution_rows(old["results"]["E7"],
+                            new["results"]["E7"]) == []
+
+
+def test_parallel_speedup_not_judged_when_cpus_short():
+    old = _report(F1=(0.5, 10.0, 8))
+    new = _report(F1=(0.5, 10.0, 8))
+    new["parallel"] = {"suite": ["F1"], "jobs": 4, "cpus": 1,
+                      "serial_s": 2.0, "parallel_s": 2.7, "speedup": 0.74}
+    text = render_parallel(old, new)
+    assert "speedup not comparable: 1 cpus" in text
+    new["parallel"]["cpus"] = 8
+    assert "not comparable" not in render_parallel(old, new)
+
+
+def test_cli_attribution_out(tmp_path):
+    old = _report(E7=(0.25, 5.0, 300))
+    new = _report(E7=(0.50, 10.0, 300))
+    old["results"]["E7"]["profile"] = _prof(("mod.slow", 10, 50.0))
+    new["results"]["E7"]["profile"] = _prof(("mod.slow", 10, 150.0))
+    old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+    attr_path = tmp_path / "attr.json"
+    old_path.write_text(json.dumps(old))
+    new_path.write_text(json.dumps(new))
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "benchmarks", "compare.py"),
+         str(old_path), str(new_path), "--attribution-out", str(attr_path)],
+        capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "attribution" in proc.stdout and "mod.slow" in proc.stdout
+    payload = json.loads(attr_path.read_text())
+    assert payload["cells"]["E7"][0]["delta_ms"] == pytest.approx(100.0)
 
 
 def test_cli_round_trip(tmp_path):

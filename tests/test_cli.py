@@ -138,13 +138,41 @@ def test_resume_refuses_telemetry_flags(tmp_path):
               "--metrics-out", str(tmp_path / "m.csv")])
 
 
+def test_unwritable_artifact_paths_fail_before_running(tmp_path, capsys):
+    missing_dir = tmp_path / "no" / "such" / "dir"
+    for flag in ("--metrics-out", "--trace-out", "--profile-out"):
+        with pytest.raises(SystemExit):
+            main(["E12", flag, str(missing_dir / "out.dat")])
+        err = capsys.readouterr().err
+        assert flag in err and "does not exist" in err
+    # a directory where a file is expected fails too
+    with pytest.raises(SystemExit):
+        main(["E12", "--metrics-out", str(tmp_path)])
+    # fail-fast means E12 never printed its table
+    assert "deployment" not in capsys.readouterr().out
+
+
+def test_profile_out_writes_folded_stacks(tmp_path, capsys):
+    folded = tmp_path / "e13.folded"
+    assert main(["E13", "--profile-out", str(folded)]) == 0
+    out = capsys.readouterr().out
+    assert "folded:" in out
+    lines = folded.read_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        assert stack and int(value) > 0
+    assert any(line.startswith("wall;") for line in lines)
+
+
 def test_exp_arg_validation(tmp_path):
     with pytest.raises(SystemExit):  # needs exactly one experiment
         main(["E12", "E13", "--exp-arg", "invariants=True"])
     with pytest.raises(SystemExit):  # malformed KEY=VAL
         main(["E12", "--exp-arg", "justakey"])
-    with pytest.raises(SystemExit):  # incompatible with supervision
-        main(["E16", "--exp-arg", "invariants=True", "--retries", "1"])
+    with pytest.raises(SystemExit):  # incompatible with --resume
+        main(["E16", "--exp-arg", "invariants=True",
+              "--resume", str(tmp_path / "ckpt")])
 
 
 def test_exp_arg_unknown_keyword_fails_loudly():

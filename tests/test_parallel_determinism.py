@@ -83,18 +83,55 @@ def _run_with_telemetry(exp_id, kwargs, jobs):
     return _render(result), run.metrics_rows()
 
 
-@pytest.mark.parametrize("exp_id,kwargs", [
-    ("E3", {"distances_m": [500, 5000]}),
-    ("E6", {"dwells_s": [1.0]}),
-    ("E7", {"ap_counts": [1, 2], "ue_per_ap": 2}),
+@pytest.mark.parametrize("exp_id,kwargs,fans_out", [
+    ("E3", {"distances_m": [500, 5000]}, False),
+    ("E6", {"dwells_s": [1.0]}, True),
+    ("E7", {"ap_counts": [1, 2], "ue_per_ap": 2}, True),
 ], ids=["E3", "E6", "E7"])
-def test_tables_byte_identical_with_telemetry_on(exp_id, kwargs):
+def test_tables_byte_identical_with_telemetry_on(exp_id, kwargs, fans_out):
     tables_p, rows_p = _run_with_telemetry(exp_id, kwargs, 4)
     tables_s, rows_s = _run_with_telemetry(exp_id, kwargs, 1)
     assert tables_p == tables_s
     # worker telemetry shipped home and absorbed in task order: the
-    # merged metrics match the serial run row for row
-    assert rows_p == rows_s
+    # merged metrics match the serial run row for row. The one family
+    # allowed to differ is the runner's own wall-clock lifecycle
+    # ("sim" == "runner") — it describes the parallel machinery itself,
+    # so it only exists when there is one (E3 never calls parallel_map,
+    # so even at --jobs 4 it has none).
+    sim_rows = [r for r in rows_p if r["sim"] != "runner"]
+    assert sim_rows == [r for r in rows_s if r["sim"] != "runner"]
+    assert any(r["sim"] == "runner" for r in rows_p) == fans_out
+    assert not any(r["sim"] == "runner" for r in rows_s)
+
+
+def test_trace_out_byte_identical_modulo_runner_lines(tmp_path):
+    """``--trace-out`` composes with ``--jobs``: the merged JSONL equals
+    the serial stream line for line, except for the runner-lifecycle
+    records (``"type": "runner"``) that only a parallel run emits."""
+    import json
+
+    from repro.__main__ import main
+
+    def run(jobs):
+        path = tmp_path / f"trace-{jobs}.jsonl"
+        argv = ["E7", "--trace-out", str(path),
+                "--exp-arg", "ap_counts=[1, 2]", "--exp-arg", "ue_per_ap=2"]
+        if jobs > 1:
+            argv += ["--jobs", str(jobs)]
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            assert main(argv) == 0
+        return path.read_text().splitlines()
+
+    try:
+        parallel = run(4)
+        serial = run(1)
+    finally:
+        set_jobs(1)
+    keep = [ln for ln in parallel
+            if json.loads(ln).get("type") != "runner"]
+    assert keep == serial
+    assert any(json.loads(ln).get("type") == "runner" for ln in parallel)
 
 
 def test_cli_jobs_flag_output_identical():
