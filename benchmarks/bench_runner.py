@@ -90,6 +90,10 @@ SPECS: List[Spec] = [
     # admission control, and the UE retry/backoff machinery end to end
     Spec("E17-storm", "E17", {"intensities": [1, 8], "horizon_s": 12.0},
          repeats=3, seeded=True),
+    # massed-UE TTI engine: two cells at 512 UEs each, the scale where
+    # the batch arena's array path dominates the scalar per-UE walk
+    Spec("E5-massed", "E5", {"n_aps": 2, "ue_per_ap": 512}, repeats=1,
+         seeded=True),
     # full set only: the heavy sweeps the --jobs work targets
     Spec("E5-coordination", "E5", repeats=2, quick=False, seeded=True),
     Spec("E6-small", "E6", {"dwells_s": [3.0, 1.0]}, repeats=1,

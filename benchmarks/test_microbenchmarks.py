@@ -6,6 +6,7 @@ statistics — regressions here slow every experiment above.
 """
 
 import numpy as np
+import pytest
 
 from repro.enodeb.cell import Cell, UeRadioContext
 from repro.geo import Point
@@ -76,6 +77,41 @@ def test_cell_tti_rate(benchmark):
             f"u{i}", Radio(Point(float(rng.uniform(100, 3000)),
                                  float(rng.uniform(-500, 500))),
                            tx_power_dbm=23)))
+
+    delivered = benchmark(cell.schedule_tti)
+    assert delivered
+
+
+def _massed_cell(n_ues: int, batch: bool) -> Cell:
+    """One cell, PF downlink, ``n_ues`` randomly placed UEs."""
+    band = get_band("lte5")
+    budget = LinkBudget(OkumuraHata(environment="open"), band.dl_mhz,
+                        band.bandwidth_hz)
+    cell = Cell("bench", band, Point(0, 0), budget,
+                scheduler=ProportionalFairScheduler(), batch=batch)
+    rng = np.random.default_rng(42)
+    for i in range(n_ues):
+        cell.add_ue(UeRadioContext(
+            f"u{i:04d}", Radio(Point(float(rng.uniform(100, 4000)),
+                                     float(rng.uniform(-2000, 2000))),
+                               tx_power_dbm=23)))
+    return cell
+
+
+@pytest.mark.parametrize("n_ues", [64, 256, 1024])
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_cell_tti_ue_scaling(benchmark, n_ues, mode):
+    """UE-count scaling of one steady-state TTI, scalar vs batch.
+
+    The batch engine's payoff grows with UE count: the scalar path is
+    O(n) Python objects per TTI while the batch path amortizes the PHY
+    into cached arrays. Before timing, one TTI on a paired cell of the
+    *other* flavor checks the two paths deliver byte-identical maps at
+    this scale (the contract PERFORMANCE.md documents)."""
+    cell = _massed_cell(n_ues, batch=(mode == "batch"))
+    twin = _massed_cell(n_ues, batch=(mode != "batch"))
+    first, twin_first = cell.schedule_tti(), twin.schedule_tti()
+    assert first == twin_first and list(first) == list(twin_first)
 
     delivered = benchmark(cell.schedule_tti)
     assert delivered

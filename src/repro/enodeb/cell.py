@@ -12,7 +12,15 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.geo.points import Point
-from repro.mac.schedulers import LteScheduler, ProportionalFairScheduler, SchedulableUser
+from repro.mac.arena import UeArena, batch_default
+from repro.mac.schedulers import (
+    LteScheduler,
+    MaxCiScheduler,
+    ProportionalFairScheduler,
+    QosAwareScheduler,
+    RoundRobinScheduler,
+    SchedulableUser,
+)
 from repro.mac.uplink import ContiguousUplinkScheduler
 from repro.phy.bands import Band
 from repro.phy.harq import harq_goodput_factor
@@ -34,8 +42,23 @@ class UeRadioContext:
     priority: int = 9
 
 
+#: Downlink scheduler classes with a verified batch (``_assign_batch``)
+#: twin. Exact-type membership: a subclass overriding ``_assign`` would
+#: silently diverge from an inherited batch twin, so subclasses take the
+#: scalar path until they are added here.
+_BATCH_DL_SCHEDULERS = (RoundRobinScheduler, MaxCiScheduler,
+                        ProportionalFairScheduler, QosAwareScheduler)
+
+
 class Cell:
-    """One sector of an eNodeB."""
+    """One sector of an eNodeB.
+
+    ``batch`` selects the TTI engine: the vectorized per-cell UE arena
+    (default, see :mod:`repro.mac.arena`) or the scalar reference path.
+    Both produce bit-identical grants, delivered bits, telemetry, and
+    EWMA state; ``None`` defers to the process-wide default
+    (``arena.batch_default()`` / ``REPRO_BATCH_TTI``).
+    """
 
     def __init__(self, name: str, band: Band, position: Point,
                  link_budget: LinkBudget,
@@ -45,7 +68,8 @@ class Cell:
                  scheduler: Optional[LteScheduler] = None,
                  harq_enabled: bool = True,
                  harq_max_retx: int = 3,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 batch: Optional[bool] = None) -> None:
         self.name = name
         self.band = band
         self.radio = Radio(position=position, tx_power_dbm=tx_power_dbm,
@@ -59,6 +83,8 @@ class Cell:
         self.harq_enabled = harq_enabled
         self.harq_max_retx = harq_max_retx
         self._ues: Dict[str, UeRadioContext] = {}
+        self._batch = batch_default() if batch is None else bool(batch)
+        self._arena = UeArena(self)
         #: PRBs this cell may use this TTI (set by coordination; default all)
         self.allowed_prbs: FrozenSet[int] = self.grid.all_prbs
         #: Interfering cells currently transmitting on overlapping PRBs.
@@ -81,6 +107,20 @@ class Cell:
         """Cell site location."""
         return self.radio.position
 
+    @property
+    def batch(self) -> bool:
+        """Whether the batch TTI engine is active for this cell."""
+        return self._batch
+
+    @batch.setter
+    def batch(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if self._batch and not enabled:
+            # hand the array EWMA state back so the scalar path resumes
+            # from identical averages
+            self._arena.sync_stores_to_dicts()
+        self._batch = enabled
+
     # -- UE management -----------------------------------------------------------
 
     def add_ue(self, ctx: UeRadioContext) -> None:
@@ -88,6 +128,7 @@ class Cell:
         if ctx.ue_id in self._ues:
             raise ValueError(f"UE {ctx.ue_id} already attached to {self.name}")
         self._ues[ctx.ue_id] = ctx
+        self._arena.attach(ctx)
         self._m_attached.set(len(self._ues))
         # RSRP is deterministic in (cell, UE) positions (shadowing is
         # hash-based), so observing it here cannot perturb a run.
@@ -96,6 +137,7 @@ class Cell:
     def remove_ue(self, ue_id: str) -> None:
         """Detach a UE and drop its scheduler history."""
         if self._ues.pop(ue_id, None) is not None:
+            self._arena.detach(ue_id)
             self._m_attached.set(len(self._ues))
         self.scheduler.forget(ue_id)
 
@@ -120,12 +162,49 @@ class Cell:
 
     # -- per-TTI scheduling ------------------------------------------------------------
 
-    def schedule_tti(self) -> Dict[str, float]:
-        """Run one TTI: allocate the allowed PRBs, return bits per UE.
+    def _use_batch(self, scheduler: LteScheduler, batch_types) -> bool:
+        """Batch engine applies: enabled, a known policy (exact type —
+        subclasses overriding ``_assign`` must not inherit a batch twin),
+        and the scheduler's EWMA state not owned by another cell's
+        arena."""
+        if not self._batch or type(scheduler) not in batch_types:
+            return False
+        owner = scheduler._array_store_arena
+        return owner is None or owner is self._arena
+
+    def _deliver(self, grants: Dict[str, FrozenSet[int]],
+                 sinrs: Dict[str, float]) -> Dict[str, float]:
+        """Shared grant->bits tail: CQI lookup, HARQ factor, telemetry.
 
         Goodput per UE = granted PRBs x bits/PRB at its CQI x the HARQ
-        delivery factor at its SINR.
+        delivery factor at its SINR. Used by both the downlink and
+        uplink scalar paths (the empty-grant skip is a no-op for the
+        downlink, whose allocator already filters empties).
         """
+        delivered: Dict[str, float] = {}
+        for ue_id, prbs in grants.items():
+            if not prbs:
+                continue
+            sinr = sinrs[ue_id]
+            entry = select_lte_cqi(sinr)
+            if entry is None:
+                self._m_no_cqi.inc()
+                continue
+            factor = 1.0
+            if self.harq_enabled:
+                factor = harq_goodput_factor(sinr, entry.min_sinr_db,
+                                             max_retx=self.harq_max_retx)
+                self._m_harq.observe(factor)
+            self._m_prbs.observe(len(prbs))
+            delivered[ue_id] = (len(prbs)
+                                * bits_per_prb(entry.efficiency_bps_hz)
+                                * factor)
+        return delivered
+
+    def schedule_tti(self) -> Dict[str, float]:
+        """Run one TTI: allocate the allowed PRBs, return bits per UE."""
+        if self._use_batch(self.scheduler, _BATCH_DL_SCHEDULERS):
+            return self._schedule_tti_batch()
         self._m_ttis.inc()
         users = []
         sinrs: Dict[str, float] = {}
@@ -138,21 +217,39 @@ class Cell:
                                          gbr_bps=ctx.gbr_bps,
                                          priority=ctx.priority))
         grants = self.scheduler.allocate(users, self.allowed_prbs)
+        return self._deliver(grants, sinrs)
+
+    def _schedule_tti_batch(self) -> Dict[str, float]:
+        self._m_ttis.inc()
+        arena = self._arena
+        bank = arena.refresh_downlink()
+        if arena.ids:
+            self._m_sinr.observe_many(bank.sinr_arr)
+        grants = self.scheduler.allocate_batch(arena, bank, self.allowed_prbs)
+        return self._deliver_from_bank(arena, bank, grants)
+
+    def _deliver_from_bank(self, arena: UeArena, bank,
+                           grants: Dict[str, FrozenSet[int]]) -> Dict[str, float]:
+        """Batch twin of :meth:`_deliver`: CQI/HARQ come from cached
+        arena rows; the float expression and telemetry order match the
+        scalar tail exactly (grants are pre-filtered non-empty)."""
         delivered: Dict[str, float] = {}
+        slot_of = arena.slot_of
+        cqi = bank.cqi
+        harq = bank.harq
+        b = bank.b
+        harq_on = self.harq_enabled
         for ue_id, prbs in grants.items():
-            sinr = sinrs[ue_id]
-            entry = select_lte_cqi(sinr)
-            if entry is None:
+            s = slot_of[ue_id]
+            if cqi[s] < 0:
                 self._m_no_cqi.inc()
                 continue
             factor = 1.0
-            if self.harq_enabled:
-                factor = harq_goodput_factor(sinr, entry.min_sinr_db,
-                                             max_retx=self.harq_max_retx)
+            if harq_on:
+                factor = harq[s]
                 self._m_harq.observe(factor)
             self._m_prbs.observe(len(prbs))
-            delivered[ue_id] = (len(prbs) * bits_per_prb(entry.efficiency_bps_hz)
-                                * factor)
+            delivered[ue_id] = len(prbs) * b[s] * factor
         return delivered
 
     def uplink_sinr_from(self, ue_radio: Radio) -> float:
@@ -166,6 +263,8 @@ class Cell:
         Uses the uplink link budget (UE transmits, cell receives) and the
         same HARQ goodput adjustment as the downlink.
         """
+        if self._use_batch(self.uplink_scheduler, (ContiguousUplinkScheduler,)):
+            return self._schedule_uplink_tti_batch()
         self._m_ttis.inc()
         users = []
         sinrs: Dict[str, float] = {}
@@ -177,33 +276,36 @@ class Cell:
                                          gbr_bps=ctx.gbr_bps,
                                          priority=ctx.priority))
         grants = self.uplink_scheduler.allocate(users, self.allowed_prbs)
-        delivered: Dict[str, float] = {}
-        for ue_id, prbs in grants.items():
-            if not prbs:
-                continue
-            entry = select_lte_cqi(sinrs[ue_id])
-            if entry is None:
-                self._m_no_cqi.inc()
-                continue
-            factor = 1.0
-            if self.harq_enabled:
-                factor = harq_goodput_factor(sinrs[ue_id],
-                                             entry.min_sinr_db,
-                                             max_retx=self.harq_max_retx)
-                self._m_harq.observe(factor)
-            self._m_prbs.observe(len(prbs))
-            delivered[ue_id] = (len(prbs)
-                                * bits_per_prb(entry.efficiency_bps_hz)
-                                * factor)
-        return delivered
+        return self._deliver(grants, sinrs)
+
+    def _schedule_uplink_tti_batch(self) -> Dict[str, float]:
+        # the scalar uplink path does not observe per-UE SINR — neither
+        # does this one
+        self._m_ttis.inc()
+        arena = self._arena
+        bank = arena.refresh_uplink()
+        grants = self.uplink_scheduler.allocate_batch(arena, bank,
+                                                      self.allowed_prbs)
+        return self._deliver_from_bank(arena, bank, grants)
 
     def throughput_bps(self, tti_results: List[Dict[str, float]]) -> Dict[str, float]:
-        """Aggregate a list of per-TTI results into per-UE bits/s."""
+        """Aggregate a list of per-TTI results into per-UE bits/s.
+
+        Single-pass: each UE gets one accumulator cell on first sight
+        (insertion order preserved), then per-TTI contributions add into
+        the preallocated list — no per-TTI ``dict.get`` default churn.
+        """
         if not tti_results:
             return {}
-        totals: Dict[str, float] = {}
+        index: Dict[str, int] = {}
+        sums: List[float] = []
         for result in tti_results:
             for ue_id, bits in result.items():
-                totals[ue_id] = totals.get(ue_id, 0.0) + bits
+                i = index.get(ue_id)
+                if i is None:
+                    index[ue_id] = len(sums)
+                    sums.append(bits)
+                else:
+                    sums[i] += bits
         duration_s = len(tti_results) * 1e-3
-        return {ue_id: bits / duration_s for ue_id, bits in totals.items()}
+        return {ue_id: sums[i] / duration_s for ue_id, i in index.items()}

@@ -26,6 +26,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Sequence
 
+import numpy as np
+
 from repro.phy.mcs import lte_efficiency_for_sinr
 from repro.phy.resource_grid import bits_per_prb
 
@@ -55,10 +57,23 @@ class SchedulableUser:
 
 
 class LteScheduler(ABC):
-    """Base class: allocate a PRB set among users, track average rates."""
+    """Base class: allocate a PRB set among users, track average rates.
+
+    Two allocation entry points share the same policy code paths:
+    :meth:`allocate` (the scalar reference, over ``SchedulableUser``
+    objects) and :meth:`allocate_batch` (the batch TTI engine, over a
+    :class:`repro.mac.arena.UeArena`'s arrays). The batch variants
+    replicate the scalar float expressions term for term — association
+    order, tie-breaks, dict insertion order — so both produce
+    bit-identical grants and EWMA state.
+    """
 
     #: EWMA horizon for PF average-rate tracking, in TTIs.
     PF_WINDOW_TTIS = 100.0
+
+    #: set by ``UeArena.store_for`` when this instance's EWMA state has
+    #: migrated into a cell arena's array store (shared-scheduler guard)
+    _array_store_arena = None
 
     def __init__(self) -> None:
         self._avg_rate_bps: Dict[str, float] = {}
@@ -84,6 +99,40 @@ class LteScheduler(ABC):
                 prbs: List[int]) -> Dict[str, List[int]]:
         """Policy-specific assignment over a non-empty eligible set."""
 
+    # -- batch (arena) entry point ------------------------------------------
+
+    def allocate_batch(self, arena, bank, prbs):
+        """:meth:`allocate` over arena arrays, bit-identical results.
+
+        ``arena`` is a ``repro.mac.arena.UeArena`` and ``bank`` one of
+        its refreshed PHY banks. Only invoked by ``Cell`` for scheduler
+        classes that define ``_assign_batch``.
+        """
+        store = arena.store_for(self)
+        grants: Dict[str, List[int]] = {}
+        elig: List[int] = []
+        if arena.ids:
+            mask = (bank.eff_arr > 0.0) & (arena.backlog_arr > 0.0)
+            elig = np.nonzero(mask)[0].tolist()
+        if elig and prbs:
+            grants = self._assign_batch(arena, bank, store, elig,
+                                        sorted(prbs))
+        result = {uid: frozenset(g) for uid, g in grants.items() if g}
+        self._update_averages_batch(arena, bank, store, result)
+        return result
+
+    def _update_averages_batch(self, arena, bank, store,
+                               grants: Dict[str, FrozenSet[int]]) -> None:
+        if not arena.ids:
+            return
+        alpha = 1.0 / self.PF_WINDOW_TTIS
+        served = np.zeros(len(arena.ids))
+        slot_of = arena.slot_of
+        for uid, g in grants.items():
+            served[slot_of[uid]] = len(g)
+        inst = served * bank.b_arr * 1e3  # bits/s, same term order as scalar
+        store.avg = (1 - alpha) * store.avg + alpha * inst
+
     # -- rate accounting ----------------------------------------------------
 
     def _update_averages(self, users: Sequence[SchedulableUser],
@@ -97,6 +146,13 @@ class LteScheduler(ABC):
 
     def average_rate_bps(self, user_id: str) -> float:
         """EWMA throughput of ``user_id`` (0 for never-seen users)."""
+        arena = self._array_store_arena
+        if arena is not None:
+            slot = arena.slot_of.get(user_id)
+            if slot is not None:
+                for sched, store in arena._stores:
+                    if sched is self:
+                        return float(store.avg[slot])
         return self._avg_rate_bps.get(user_id, 0.0)
 
     def forget(self, user_id: str) -> None:
@@ -120,6 +176,17 @@ class RoundRobinScheduler(LteScheduler):
         self._next = (self._next + len(prbs)) % max(len(users), 1)
         return grants
 
+    def _assign_batch(self, arena, bank, store, elig: List[int],
+                      prbs: List[int]) -> Dict[str, List[int]]:
+        ids = arena.ids
+        grants: Dict[str, List[int]] = {ids[s]: [] for s in elig}
+        n = len(elig)
+        nxt = self._next
+        for i, prb in enumerate(prbs):
+            grants[ids[elig[(nxt + i) % n]]].append(prb)
+        self._next = (nxt + len(prbs)) % max(n, 1)
+        return grants
+
 
 class MaxCiScheduler(LteScheduler):
     """Give every PRB to the user with the best channel."""
@@ -128,6 +195,13 @@ class MaxCiScheduler(LteScheduler):
                 prbs: List[int]) -> Dict[str, List[int]]:
         best = max(users, key=lambda u: (u.efficiency, u.user_id))
         return {best.user_id: list(prbs)}
+
+    def _assign_batch(self, arena, bank, store, elig: List[int],
+                      prbs: List[int]) -> Dict[str, List[int]]:
+        ids = arena.ids
+        eff = bank.eff
+        best = max(elig, key=lambda s: (eff[s], ids[s]))
+        return {ids[best]: list(prbs)}
 
 
 class ProportionalFairScheduler(LteScheduler):
@@ -174,6 +248,34 @@ class ProportionalFairScheduler(LteScheduler):
             push(entries, (-(inst / (avgs[rank] + len(granted) * inst)), rank))
         return grants
 
+    def _assign_batch(self, arena, bank, store, elig: List[int],
+                      prbs: List[int]) -> Dict[str, List[int]]:
+        # the scalar path's structures, gathered straight from the arena:
+        # grants keyed in eligible (attach) order, heap ranks in
+        # descending-uid order, Python floats throughout (via tolist) so
+        # the heap arithmetic is the very same scalar arithmetic
+        ids = arena.ids
+        grants: Dict[str, List[int]] = {ids[s]: [] for s in elig}
+        floor = 1e3
+        eset = set(elig)
+        desc = [s for s in arena.desc_order if s in eset]
+        idx = np.array(desc)
+        insts = (bank.b_arr[idx] * 1e3).tolist()
+        avgs = np.maximum(store.avg[idx], floor).tolist()
+        lists = [grants[ids[s]] for s in desc]
+        entries: List = [(-(insts[r] / (avgs[r] + 0.0)), r)
+                         for r in range(len(desc))]
+        heapq.heapify(entries)
+        pop = heapq.heappop
+        push = heapq.heappush
+        for prb in prbs:
+            _neg, rank = pop(entries)
+            granted = lists[rank]
+            granted.append(prb)
+            inst = insts[rank]
+            push(entries, (-(inst / (avgs[rank] + len(granted) * inst)), rank))
+        return grants
+
 
 class QosAwareScheduler(ProportionalFairScheduler):
     """GBR-first scheduling: guarantee bit rates, then PF the remainder.
@@ -198,6 +300,30 @@ class QosAwareScheduler(ProportionalFairScheduler):
                 needed_bits -= per_prb
         if remaining:
             pf = super()._assign(users, remaining)
+            for uid, extra in pf.items():
+                grants[uid].extend(extra)
+        return grants
+
+    def _assign_batch(self, arena, bank, store, elig: List[int],
+                      prbs: List[int]) -> Dict[str, List[int]]:
+        ids = arena.ids
+        grants: Dict[str, List[int]] = {ids[s]: [] for s in elig}
+        remaining = list(prbs)
+        gbr = arena.gbr
+        prio = arena.priority
+        b = bank.b
+        gbr_slots = sorted((s for s in elig if gbr[s] > 0),
+                           key=lambda s: (prio[s], ids[s]))
+        for s in gbr_slots:
+            needed_bits = gbr[s] * 1e-3  # per TTI
+            per_prb = b[s]
+            granted = grants[ids[s]]
+            while remaining and needed_bits > 0:
+                granted.append(remaining.pop(0))
+                needed_bits -= per_prb
+        if remaining:
+            pf = ProportionalFairScheduler._assign_batch(
+                self, arena, bank, store, elig, remaining)
             for uid, extra in pf.items():
                 grants[uid].extend(extra)
         return grants

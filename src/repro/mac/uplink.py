@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.mac.schedulers import LteScheduler, SchedulableUser
 from repro.phy.resource_grid import bits_per_prb
 
@@ -70,6 +72,38 @@ class ContiguousUplinkScheduler(LteScheduler):
                 take = min(want, length)
                 grants[user.user_id] = list(range(start, start + take))
                 runs[i] = (start + take, length - take)
+                break
+        return grants
+
+    def _assign_batch(self, arena, bank, store, elig: List[int],
+                      prbs: List[int]) -> Dict[str, List[int]]:
+        """Arena-array variant of :meth:`_assign`, bit-identical.
+
+        The weight sum stays a sequential Python ``sum`` (eligible
+        order) and targets use Python ``round`` — both are part of the
+        scalar reference's float/rounding behavior.
+        """
+        ids = arena.ids
+        runs = contiguous_runs(frozenset(prbs))
+        total = len(prbs)
+        floor = 1e3
+        idx = np.array(elig)
+        weights = (bank.b_arr[idx] * 1e3
+                   / np.maximum(store.avg[idx], floor)).tolist()
+        weight_sum = sum(weights) or 1.0
+        targets = [max(1, round(total * w / weight_sum)) for w in weights]
+        order = sorted(range(len(elig)),
+                       key=lambda i: (-targets[i], ids[elig[i]]))
+        runs = sorted(runs, key=lambda r: -r[1])
+        grants: Dict[str, List[int]] = {ids[s]: [] for s in elig}
+        for i in order:
+            want = targets[i]
+            for j, (start, length) in enumerate(runs):
+                if length <= 0:
+                    continue
+                take = min(want, length)
+                grants[ids[elig[i]]] = list(range(start, start + take))
+                runs[j] = (start + take, length - take)
                 break
         return grants
 

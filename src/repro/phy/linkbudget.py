@@ -20,6 +20,7 @@ from repro.geo.points import Point
 from repro.phy.fading import ShadowingField
 from repro.phy.propagation import PropagationModel
 from repro.phy.units import db_to_linear, linear_to_db, thermal_noise_dbm
+from repro.phy.vmath import db_to_linear_exact, hypot_exact, log10_exact
 
 
 @lru_cache(maxsize=512)
@@ -184,3 +185,94 @@ class LinkBudget:
         interference = [self.rx_power_dbm(i, rx) for i in sources if i is not tx]
         return sinr_db(self.rx_power_dbm(tx, rx), interference,
                        self.noise_dbm(rx))
+
+    # -- batch-engine fast paths -------------------------------------------------
+    #
+    # The methods below evaluate one fixed endpoint against arrays of
+    # peers in a single pass, *bit-identically* to calling the scalar
+    # methods per link: distances via the libm hypot map, loss via the
+    # model's ``path_loss_db_exact_many``, and dB<->linear conversions
+    # via the libm element maps (see ``repro.phy.vmath``). They require
+    # omnidirectional ends and no shadowing — exactly the geometries
+    # where the scalar path has no per-link state — and the UE arena
+    # falls back to the scalar calls per row otherwise.
+
+    def _require_plain(self, *radios: Radio) -> None:
+        if self.shadowing is not None:
+            raise ValueError("vectorized link evaluation requires no shadowing")
+        for radio in radios:
+            if radio.antenna is not None:
+                raise ValueError(
+                    "vectorized link evaluation requires omni antennas")
+
+    def rx_power_dbm_fixed_tx_many(self, tx: Radio,
+                                   rx_x: np.ndarray, rx_y: np.ndarray,
+                                   rx_gain_dbi: np.ndarray,
+                                   rx_cable_db: np.ndarray) -> np.ndarray:
+        """Received power from one transmitter at many receivers (the
+        downlink/interference direction of the UE arena)."""
+        self._require_plain(tx)
+        dist = hypot_exact(tx.position.x - rx_x, tx.position.y - rx_y)
+        loss = self.model.path_loss_db_exact_many(dist, self.freq_mhz)
+        tx_eirp = (tx.tx_power_dbm + tx.ul_papr_advantage_db
+                   + tx.antenna_gain_dbi - tx.cable_loss_db)
+        return tx_eirp - loss + rx_gain_dbi - rx_cable_db
+
+    def sinr_db_fixed_tx_many(self, tx: Radio,
+                              rx_x: np.ndarray, rx_y: np.ndarray,
+                              rx_gain_dbi: np.ndarray,
+                              rx_cable_db: np.ndarray,
+                              noise_dbm_arr: np.ndarray,
+                              interferers: Sequence[Radio]) -> np.ndarray:
+        """Downlink SINR at many receivers with vectorized interference
+        summation.
+
+        The interference accumulation follows the scalar path's order —
+        noise first, then each interferer in sequence — so the float
+        result matches :meth:`sinr_db` per receiver bit for bit.
+        """
+        signal = self.rx_power_dbm_fixed_tx_many(tx, rx_x, rx_y,
+                                                 rx_gain_dbi, rx_cable_db)
+        denom_mw = db_to_linear_exact(noise_dbm_arr)
+        for interferer in interferers:
+            if interferer is tx:
+                continue
+            i_dbm = self.rx_power_dbm_fixed_tx_many(
+                interferer, rx_x, rx_y, rx_gain_dbi, rx_cable_db)
+            denom_mw = denom_mw + db_to_linear_exact(i_dbm)
+        return signal - (10.0 * log10_exact(denom_mw))
+
+    def rx_power_dbm_many_tx_fixed_rx(self, tx_x: np.ndarray,
+                                      tx_y: np.ndarray,
+                                      tx_power_dbm: np.ndarray,
+                                      tx_papr_db: np.ndarray,
+                                      tx_gain_dbi: np.ndarray,
+                                      tx_cable_db: np.ndarray,
+                                      rx: Radio) -> np.ndarray:
+        """Received power at one receiver from many transmitters (the
+        uplink direction of the UE arena)."""
+        self._require_plain(rx)
+        dist = hypot_exact(tx_x - rx.position.x, tx_y - rx.position.y)
+        loss = self.model.path_loss_db_exact_many(dist, self.freq_mhz)
+        tx_eirp = tx_power_dbm + tx_papr_db + tx_gain_dbi - tx_cable_db
+        return (tx_eirp - loss + rx.antenna_gain_dbi - rx.cable_loss_db)
+
+    def sinr_db_many_tx_fixed_rx(self, tx_x: np.ndarray, tx_y: np.ndarray,
+                                 tx_power_dbm: np.ndarray,
+                                 tx_papr_db: np.ndarray,
+                                 tx_gain_dbi: np.ndarray,
+                                 tx_cable_db: np.ndarray,
+                                 rx: Radio) -> np.ndarray:
+        """Uplink SINR at one receiver from many transmitters.
+
+        Only valid when the budget carries no configured interferers
+        (the arena falls back to scalar rows otherwise, where the
+        per-transmitter ``i is not tx`` exclusion applies).
+        """
+        if self.interferers:
+            raise ValueError("vectorized uplink requires an interferer-free "
+                             "budget (per-tx exclusions differ by row)")
+        signal = self.rx_power_dbm_many_tx_fixed_rx(
+            tx_x, tx_y, tx_power_dbm, tx_papr_db, tx_gain_dbi, tx_cable_db, rx)
+        # replicate the scalar dB -> mW -> dB round trip on the noise floor
+        return signal - linear_to_db(db_to_linear(self.noise_dbm(rx)))

@@ -17,7 +17,9 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,38 @@ WIFI_MCS_TABLE: List[McsEntry] = [
 
 _LTE_THRESHOLDS = [e.min_sinr_db for e in LTE_CQI_TABLE]
 _WIFI_THRESHOLDS = [e.min_sinr_db for e in WIFI_MCS_TABLE]
+
+# Array mirrors of the LTE table for the batch TTI engine: CQI selection
+# over a whole cell becomes one ``np.searchsorted`` (identical semantics
+# to the ``bisect_right`` the scalar path uses — both are pure index
+# arithmetic, so batch and scalar agree bit for bit). Row -1 of the
+# gather targets backs the "below CQI 1" case with zeros.
+_LTE_THRESHOLDS_ARR = np.array(_LTE_THRESHOLDS)
+_LTE_EFFICIENCY_ARR = np.array(
+    [e.efficiency_bps_hz for e in LTE_CQI_TABLE] + [0.0])
+_LTE_MIN_SINR_ARR = np.array(_LTE_THRESHOLDS + [0.0])
+
+
+def select_lte_cqi_index_many(sinr_db: Sequence[float]) -> np.ndarray:
+    """Vectorized CQI row selection: index into ``LTE_CQI_TABLE`` per
+    SINR, or -1 where the link is below CQI 1.
+
+    ``select_lte_cqi(s)`` equals ``LTE_CQI_TABLE[i]`` (or ``None`` for
+    -1) for every element — the batch engine's CQI step.
+    """
+    sinr = np.asarray(sinr_db, dtype=float)
+    return np.searchsorted(_LTE_THRESHOLDS_ARR, sinr, side="right") - 1
+
+
+def lte_efficiency_for_index(indices: np.ndarray) -> np.ndarray:
+    """Spectral efficiency per CQI row index (-1 maps to 0.0)."""
+    return _LTE_EFFICIENCY_ARR[indices]
+
+
+def lte_min_sinr_for_index(indices: np.ndarray) -> np.ndarray:
+    """HARQ threshold (``min_sinr_db``) per CQI row index (-1 maps to
+    0.0, never consumed: the batch engine masks dead links first)."""
+    return _LTE_MIN_SINR_ARR[indices]
 
 
 def _select(table: List[McsEntry], thresholds: List[float],

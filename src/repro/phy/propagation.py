@@ -25,6 +25,14 @@ bisections, repeated link budgets at fixed geometry):
   (asserted by the microbenchmarks).
 * :func:`cached_path_loss` — a memoized per-(model, freq) closure for
   scalar callers that revisit the same distances.
+
+The batch TTI engine needs a third, stricter flavor:
+:meth:`PropagationModel.path_loss_db_exact_many` replicates the scalar
+formula term by term — same association order, libm ``log10`` at the
+single distance-dependent transcendental — so its output is
+*bit-identical* to ``path_loss_db`` per element, not merely within
+1e-9 dB. (``path_loss_db_many`` is free to re-arrange algebra for
+speed, e.g. the Hata anchor+slope form; the exact flavor is not.)
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ from typing import Callable, Dict, Sequence
 from weakref import WeakKeyDictionary
 
 import numpy as np
+
+from repro.phy.vmath import log10_exact
 
 #: Friis constant 20*log10(4*pi/c) for d in km and f in MHz — 32.44 dB
 #: (the exact value is 32.4478; some texts round to 32.45, this codebase
@@ -57,6 +67,19 @@ class PropagationModel(ABC):
         The base implementation loops the scalar model; every concrete
         model overrides it with closed-form numpy. Scalar and vector
         paths agree to better than 1e-9 dB.
+        """
+        return np.array([self.path_loss_db(float(d), freq_mhz)
+                         for d in np.asarray(distances_m, dtype=float)])
+
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        """Vectorized loss, *bit-identical* to :meth:`path_loss_db`.
+
+        The base implementation loops the scalar model (trivially
+        exact); concrete models override it with an array pipeline that
+        keeps the scalar association order and routes ``log10`` through
+        libm (see ``repro.phy.vmath``). Used by the batch TTI engine,
+        whose equivalence contract is byte-identical tables.
         """
         return np.array([self.path_loss_db(float(d), freq_mhz)
                          for d in np.asarray(distances_m, dtype=float)])
@@ -89,6 +112,12 @@ class FreeSpace(PropagationModel):
         return (20.0 * np.log10(d_km) + 20.0 * math.log10(freq_mhz)
                 + FSPL_CONST_DB)
 
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        d_km = self._clamp_distances(distances_m) / 1000.0
+        return (20.0 * log10_exact(d_km) + 20.0 * math.log10(freq_mhz)
+                + FSPL_CONST_DB)
+
 
 class LogDistance(PropagationModel):
     """Log-distance model: FSPL at ``ref_m`` plus ``10 n log10(d/ref)``."""
@@ -114,6 +143,15 @@ class LogDistance(PropagationModel):
         far = base + 10.0 * self.exponent * np.log10(
             np.maximum(d, self.ref_m) / self.ref_m)
         near = self._fspl.path_loss_db_many(d, freq_mhz)
+        return np.where(d <= self.ref_m, near, far)
+
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        d = self._clamp_distances(distances_m)
+        base = self._fspl.path_loss_db(self.ref_m, freq_mhz)
+        far = base + 10.0 * self.exponent * log10_exact(
+            np.maximum(d, self.ref_m) / self.ref_m)
+        near = self._fspl.path_loss_db_exact_many(d, freq_mhz)
         return np.where(d <= self.ref_m, near, far)
 
 
@@ -149,6 +187,14 @@ class TwoRayGround(PropagationModel):
         d = self._clamp_distances(distances_m)
         near = self._fspl.path_loss_db_many(d, freq_mhz)
         far = (40.0 * np.log10(d)
+               - 20.0 * math.log10(self.tx_height_m * self.rx_height_m))
+        return np.where(d < self.crossover_m(freq_mhz), near, far)
+
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        d = self._clamp_distances(distances_m)
+        near = self._fspl.path_loss_db_exact_many(d, freq_mhz)
+        far = (40.0 * log10_exact(d)
                - 20.0 * math.log10(self.tx_height_m * self.rx_height_m))
         return np.where(d < self.crossover_m(freq_mhz), near, far)
 
@@ -208,6 +254,25 @@ class OkumuraHata(PropagationModel):
         d_km = np.maximum(self._clamp_distances(distances_m) / 1000.0, 0.01)
         return base + slope * np.log10(d_km / anchor_km)
 
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        if not 150.0 <= freq_mhz <= 2000.0:
+            raise ValueError(
+                f"Okumura-Hata valid 150-1500 MHz (soft to 2000); got {freq_mhz}")
+        d_km = np.maximum(self._clamp_distances(distances_m) / 1000.0, 0.01)
+        a_hm = self._mobile_correction_db(freq_mhz)
+        # same association order as the scalar expression, distance term last
+        prefix = (69.55 + 26.16 * math.log10(freq_mhz)
+                  - 13.82 * math.log10(self.bs_height_m) - a_hm)
+        slope = 44.9 - 6.55 * math.log10(self.bs_height_m)
+        loss = prefix + slope * log10_exact(d_km)
+        if self.environment == "suburban":
+            loss = loss - (2.0 * (math.log10(freq_mhz / 28.0)) ** 2 + 5.4)
+        elif self.environment == "open":
+            loss = loss - (4.78 * (math.log10(freq_mhz)) ** 2
+                           - 18.33 * math.log10(freq_mhz) + 40.94)
+        return loss
+
 
 class Cost231Hata(PropagationModel):
     """COST-231 Hata extension, valid 1500–2600 MHz (soft to 6000).
@@ -255,6 +320,26 @@ class Cost231Hata(PropagationModel):
         slope = 44.9 - 6.55 * math.log10(self.bs_height_m)
         d_km = np.maximum(self._clamp_distances(distances_m) / 1000.0, 0.01)
         return base + slope * np.log10(d_km / anchor_km)
+
+    def path_loss_db_exact_many(self, distances_m: Sequence[float],
+                                freq_mhz: float) -> np.ndarray:
+        if not 1500.0 <= freq_mhz <= 6000.0:
+            raise ValueError(
+                f"COST-231 Hata valid 1500-2600 MHz (soft to 6000); got {freq_mhz}")
+        d_km = np.maximum(self._clamp_distances(distances_m) / 1000.0, 0.01)
+        a_hm = ((1.1 * math.log10(freq_mhz) - 0.7) * self.ue_height_m
+                - (1.56 * math.log10(freq_mhz) - 0.8))
+        c_m = 3.0 if self.metropolitan else 0.0
+        prefix = (46.3 + 33.9 * math.log10(freq_mhz)
+                  - 13.82 * math.log10(self.bs_height_m) - a_hm)
+        slope = 44.9 - 6.55 * math.log10(self.bs_height_m)
+        loss = prefix + slope * log10_exact(d_km) + c_m
+        if self.environment == "suburban":
+            loss = loss - (2.0 * (math.log10(freq_mhz / 28.0)) ** 2 + 5.4)
+        elif self.environment == "open":
+            loss = loss - (4.78 * (math.log10(freq_mhz)) ** 2
+                           - 18.33 * math.log10(freq_mhz) + 40.94)
+        return loss
 
 
 #: Memoized scalar closures: {model -> {(freq, maxsize) -> lru closure}}.

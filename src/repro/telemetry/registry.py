@@ -24,6 +24,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "P2Quantile", "DEFAULT_BUCKETS"]
 
@@ -289,7 +291,7 @@ class Histogram(_Instrument):
     """
 
     __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
-                 "_quantiles", "_pending")
+                 "_quantiles", "_pending", "_bucket_arr")
     kind = "histogram"
 
     QUANTILES = (0.5, 0.95, 0.99)
@@ -314,6 +316,46 @@ class Histogram(_Instrument):
         self._quantiles = tuple(P2Quantile(q)
                                 for q in (quantiles or self.QUANTILES))
         self._pending: List[float] = []
+        self._bucket_arr: Optional[np.ndarray] = None
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of samples, bit-identically to calling
+        :meth:`observe` per element in order.
+
+        The running sum is accumulated sequentially (same additions in
+        the same order as the scalar path); bucket placement vectorizes
+        through ``np.searchsorted`` (identical index semantics to
+        ``bisect_left``); pending quantile samples are appended in
+        arrival order, so the deferred P² replay sees the same sequence
+        regardless of flush boundaries. This is the batch TTI engine's
+        per-cell SINR observation path.
+        """
+        vals = np.asarray(values, dtype=float).tolist()
+        if not vals:
+            return
+        self.count += len(vals)
+        total = self.sum
+        for value in vals:
+            total += value
+        self.sum = total
+        lo = min(vals)
+        hi = max(vals)
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        if self._bucket_arr is None:
+            self._bucket_arr = np.array(self.buckets)
+        idx = np.searchsorted(self._bucket_arr, vals, side="left")
+        counts = np.bincount(idx, minlength=len(self.bucket_counts))
+        bucket_counts = self.bucket_counts
+        for i, c in enumerate(counts.tolist()):
+            if c:
+                bucket_counts[i] += c
+        pending = self._pending
+        pending.extend(vals)
+        if len(pending) >= self.PENDING_CAP:
+            self._flush_quantiles()
 
     def observe(self, value: float) -> None:
         """Record one sample."""

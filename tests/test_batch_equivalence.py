@@ -1,0 +1,44 @@
+"""Batch TTI engine: every experiment table is byte-identical.
+
+The batch engine's acceptance contract is stronger than "numerically
+close": with ``REPRO_BATCH_TTI=1`` every rendered experiment table must
+match the scalar reference **byte for byte** — same floats, same
+rounding, same row order. This reuses the small-but-real workloads from
+``test_parallel_determinism.CASES`` (all 17 experiments) and runs each
+once per TTI path.
+
+Workers are forked, so ``batch_mode`` in the parent governs ``--jobs``
+runs too; a subset re-checks batch-on against scalar-serial across the
+real multiprocessing pool.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.mac import batch_mode
+
+from tests.test_parallel_determinism import CASES, _render, _run_at
+
+#: TTI-heavy experiments worth re-checking across the worker pool.
+JOBS_SUBSET = [c for c in CASES if c[0] in ("E5", "E7", "E17")]
+
+
+def _run(exp_id, kwargs, batch):
+    with batch_mode(batch):
+        return _render(ALL_EXPERIMENTS[exp_id].run(**kwargs))
+
+
+@pytest.mark.parametrize("exp_id,kwargs", CASES,
+                         ids=[c[0] for c in CASES])
+def test_batch_tables_byte_identical(exp_id, kwargs):
+    assert _run(exp_id, kwargs, True) == _run(exp_id, kwargs, False)
+
+
+@pytest.mark.parametrize("exp_id,kwargs", JOBS_SUBSET,
+                         ids=[c[0] for c in JOBS_SUBSET])
+def test_batch_tables_byte_identical_at_jobs_4(exp_id, kwargs):
+    with batch_mode(True):
+        parallel_batch = _run_at(exp_id, kwargs, 4)
+    with batch_mode(False):
+        serial_scalar = _run_at(exp_id, kwargs, 1)
+    assert parallel_batch == serial_scalar
