@@ -94,6 +94,13 @@ SPECS: List[Spec] = [
     # the batch arena's array path dominates the scalar per-UE walk
     Spec("E5-massed", "E5", {"n_aps": 2, "ue_per_ap": 512}, repeats=1,
          seeded=True),
+    # data-plane overload: the AQM+ECN vs drop-tail goodput sweep at a
+    # smoke-sized horizon; tracks the managed-link path plus the
+    # peak-queue / ECN-mark columns below
+    Spec("E18-overload", "E18",
+         {"loads": (0.5, 4.0), "n_aps": 1, "ue_per_ap": 3,
+          "settle_s": 4.0, "warmup_s": 1.0, "measure_s": 6.0},
+         repeats=1, seeded=True),
     # full set only: the heavy sweeps the --jobs work targets
     Spec("E5-coordination", "E5", repeats=2, quick=False, seeded=True),
     Spec("E6-small", "E6", {"dwells_s": [3.0, 1.0]}, repeats=1,
@@ -146,6 +153,8 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
     heap_hwm = 0
     agent_peak = 0
     shed = 0
+    link_peak = 0
+    ecn_marks = 0
     for _ in range(max(1, repeats)):
         HUB.start_run()
         try:
@@ -159,7 +168,9 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
         heap_hwm = max(heap_hwm, run.heap_high_water)
         agent_peak = max(agent_peak, run.agent_peak_queue)
         shed = max(shed, run.agents_shed)
-    return best, heap_hwm, agent_peak, shed
+        link_peak = max(link_peak, run.link_peak_queue)
+        ecn_marks = max(ecn_marks, run.ecn_marks)
+    return best, heap_hwm, agent_peak, shed, link_peak, ecn_marks
 
 
 def _profile_call(fn: Callable[[], object], top_n: int,
@@ -225,14 +236,16 @@ def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
         os.makedirs(folded_dir, exist_ok=True)
     results: Dict[str, Dict[str, object]] = {}
     for spec in specs:
-        wall, heap_hwm, agent_peak, shed = _time_call(
-            spec.build_call(), spec.repeats)
+        (wall, heap_hwm, agent_peak, shed,
+         link_peak, ecn_marks) = _time_call(spec.build_call(), spec.repeats)
         results[spec.name] = {
             "wall_s": round(wall, 4),
             "normalized": round(wall / calibration_s, 3),
             "heap_hwm": heap_hwm,
             "agent_peak_queue": agent_peak,
             "agents_shed": shed,
+            "link_peak_queue": link_peak,
+            "ecn_marks": ecn_marks,
         }
         if profile:
             folded_path = (os.path.join(folded_dir, f"{spec.name}.folded")
@@ -241,7 +254,8 @@ def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
                 spec.build_call(), top_n, folded_path)
         print(f"  {spec.name:<20} {wall:8.3f} s   "
               f"({wall / calibration_s:8.2f}x cal, heap hwm {heap_hwm}, "
-              f"peak queue {agent_peak}, shed {shed})")
+              f"peak queue {agent_peak}, shed {shed}, "
+              f"link peak {link_peak}, ecn {ecn_marks})")
     report: Dict[str, object] = {
         "date": time.strftime("%Y-%m-%d"),
         "quick": quick,

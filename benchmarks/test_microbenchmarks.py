@@ -200,6 +200,40 @@ def test_link_budget_cached_snr(benchmark):
     assert abs(total - expected) < 1e-9 * abs(expected)
 
 
+@pytest.mark.parametrize("mode", ["drop-tail", "codel", "red"])
+def test_link_pump_rate(benchmark, mode):
+    """10k packets through one link: the drop-tail fast path vs AQM.
+
+    The ``drop-tail`` row is the seed's path and the one the regression
+    gate cares about — managed mode must stay default-off, so a link
+    with no AQM installed pays only the single ``_managed`` branch (the
+    ledger provably untouched, asserted below). The ``codel``/``red``
+    rows price the managed path for comparison."""
+    from repro.net.aqm import make_aqm
+    from repro.net.links import Link
+    from repro.net.packet import Packet
+
+    def run():
+        sim = Simulator(0)
+        link = Link(sim, rate_bps=float("inf"), delay_s=0.0, name="pump")
+        aqm = make_aqm(mode)
+        if aqm is not None:
+            link.set_aqm(aqm)
+        link.connect(lambda p: None)
+        packet = Packet(src=None, dst=None, size_bytes=1200)
+        for i in range(10_000):
+            sim.schedule(i * 1e-5, link.send, packet)
+        sim.run()
+        return link
+
+    link = benchmark(run)
+    assert link.delivered == 10_000
+    if mode == "drop-tail":
+        # default-off proof: no AQM, no managed state, no byte ledger
+        assert not link._managed
+        assert link.offered_bytes == 0 and link.delivered_bytes == 0
+
+
 def test_metrics_hot_path_rate(benchmark):
     """The per-event telemetry cost: cached counter inc + histogram
     observe, the pattern every instrumented component uses."""

@@ -227,11 +227,12 @@ def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
 
 #: Experiments whose run() fans its own sweep cells over the worker
 #: pool; they run in the parent so the whole pool serves their cells.
-CELL_PARALLEL_IDS = ("E6", "E7", "E17")
+CELL_PARALLEL_IDS = ("E6", "E7", "E17", "E18")
 
 #: Rough serial seconds per experiment (measured on the reference box);
 #: only the ordering matters — longest-first submission of the fan-out.
-_COST_HINTS = {"E8": 7.0, "E9": 2.5, "E5": 2.0, "F1": 0.6, "E16": 0.1}
+_COST_HINTS = {"E8": 7.0, "E9": 2.5, "E5": 2.0, "E18": 2.0, "F1": 0.6,
+               "E16": 0.1}
 
 
 def _run_captured(task) -> str:

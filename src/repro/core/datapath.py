@@ -41,6 +41,9 @@ class EnbDataPlane(NetworkNode):
         self.tunnels = TunnelEndpoint(address)
         self._ue_host_by_addr: Dict[IPv4Address, str] = {}
         self._uplink_teid: Optional[int] = None
+        #: optional per-bearer QoS gate (repro.epc.qos.BearerPolicer);
+        #: None keeps the seed's unpoliced path at one is-None check
+        self.policer = None
 
     def open_bearer(self) -> int:
         """Create the site's uplink tunnel toward the EPC (idempotent)."""
@@ -70,6 +73,8 @@ class EnbDataPlane(NetworkNode):
         # uplink from a UE: wrap and push toward the EPC
         if self._uplink_teid is None:
             return  # no bearer yet: drop
+        if self.policer is not None and not self.policer.admit(packet):
+            return  # shed at the cell site, accounted by the policer
         self.tunnels.encapsulate(packet, self._uplink_teid)
         self.send_via(self.uplink_via, packet)
 
@@ -89,6 +94,8 @@ class EpcDataPlane(NetworkNode):
         self._teid_by_enb: Dict[IPv4Address, int] = {}
         self.uplink_packets = 0
         self.downlink_packets = 0
+        #: optional per-bearer QoS gate (repro.epc.qos.BearerPolicer)
+        self.policer = None
 
     def register_ue(self, ue_address: IPv4Address,
                     enb_address: IPv4Address) -> None:
@@ -114,6 +121,8 @@ class EpcDataPlane(NetworkNode):
         if packet.dst == self.address and packet.tunnel_depth > 0:
             # uplink: terminate the bearer, forward to the Internet
             self.tunnels.decapsulate(packet)
+            if self.policer is not None and not self.policer.admit(packet):
+                return  # shed at the S-GW/P-GW, accounted by the policer
             self.uplink_packets += 1
             self.send_via(self.internet_via, packet)
             return
@@ -121,6 +130,8 @@ class EpcDataPlane(NetworkNode):
         enb_address = self._enb_by_ue_addr.get(packet.dst)
         if enb_address is None:
             return  # UE unknown (detached): drop
+        if self.policer is not None and not self.policer.admit(packet):
+            return
         self.downlink_packets += 1
         self.tunnels.encapsulate(packet, self._teid_by_enb[enb_address])
         self.send_via(self.internet_via, packet)

@@ -22,6 +22,7 @@ from repro.experiments import (
     e15_reachability,
     e16_resilience,
     e17_attach_storm,
+    e18_sustained_overload,
     f1_path_comparison,
     t1_design_space,
 )
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "E15": e15_reachability,
     "E16": e16_resilience,
     "E17": e17_attach_storm,
+    "E18": e18_sustained_overload,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

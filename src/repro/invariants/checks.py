@@ -9,7 +9,9 @@ clock (plus once at the end via :meth:`verify`):
 
 * **packet conservation** (:meth:`watch_link`): at any instant
   ``offered == delivered + dropped + in_flight`` and every drop is
-  attributed to a cause (``overflow + down + loss == dropped``);
+  attributed to a cause (``overflow + down + loss + aqm == dropped``);
+  managed links (AQM/ECN/``queue_bytes``) additionally satisfy the same
+  law in *bytes* — marking instead of dropping must not leak a byte;
 * **NAT accounting** (:meth:`watch_nat`): bindings only exist for
   flows that translated outbound;
 * **tunnel conservation** (:meth:`watch_tunnel`): across all watched
@@ -97,12 +99,13 @@ class InvariantChecker:
         def check() -> List[str]:
             problems = []
             causes = (link.dropped_overflow + link.dropped_down
-                      + link.dropped_loss)
+                      + link.dropped_loss + link.dropped_aqm)
             if causes != link.dropped:
                 problems.append(
                     f"unattributed drops: {link.dropped} total != "
                     f"{causes} by cause (overflow={link.dropped_overflow} "
-                    f"down={link.dropped_down} loss={link.dropped_loss})")
+                    f"down={link.dropped_down} loss={link.dropped_loss} "
+                    f"aqm={link.dropped_aqm})")
             accounted = link.delivered + link.dropped + link.in_flight
             if accounted != link.offered:
                 problems.append(
@@ -115,6 +118,29 @@ class InvariantChecker:
                 problems.append(
                     f"queue over capacity: {link.queue_depth} > "
                     f"{link.queue_packets}")
+            if link._managed:
+                # managed links (AQM / queue_bytes) carry the same
+                # conservation law in bytes — an AQM that marks instead
+                # of dropping must not disturb it, and a byte-capacity
+                # limit must actually bound the queue
+                accounted_b = (link.delivered_bytes + link.dropped_bytes
+                               + link.in_flight_bytes)
+                if accounted_b != link.offered_bytes:
+                    problems.append(
+                        f"byte leak: offered={link.offered_bytes} != "
+                        f"delivered={link.delivered_bytes} + "
+                        f"dropped={link.dropped_bytes} + "
+                        f"in_flight={link.in_flight_bytes}")
+                if link.in_flight_bytes < 0:
+                    problems.append(
+                        f"negative in_flight_bytes: {link.in_flight_bytes}")
+                if (link.queue_bytes is not None
+                        and link._egress_bytes > link.queue_bytes):
+                    problems.append(
+                        f"queue over byte capacity: {link._egress_bytes} > "
+                        f"{link.queue_bytes}")
+                if link.marked_ecn < 0 or link.dropped_aqm < 0:
+                    problems.append("negative AQM counter")
             return problems
 
         self.register("link-conservation", link.name, check)

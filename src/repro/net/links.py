@@ -31,7 +31,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from repro.net.packet import Packet
+from repro.net.aqm import DROP, MARK, PASS, AqmDiscipline
+from repro.net.packet import ECN_CE, ECN_ECT, Packet
 from repro.simcore.simulator import Simulator
 
 _INF = float("inf")
@@ -46,11 +47,25 @@ class Link:
         delay_s: propagation delay.
         queue_packets: drop-tail queue capacity (packets awaiting
             serialization); the packet in service is not counted.
+        queue_bytes: optional byte-based queue capacity enforced
+            alongside ``queue_packets`` (whichever bites first).
+            Setting it switches the link into *managed* mode.
         name: for hop recording and diagnostics.
+
+    Managed mode (default off): installing an AQM discipline
+    (:meth:`set_aqm`) or a ``queue_bytes`` limit routes sends through
+    :meth:`_send_managed`, which additionally keeps a byte-granular
+    conservation ledger (``offered_bytes == delivered_bytes +
+    dropped_bytes + in_flight_bytes``), per-packet enqueue timestamps
+    for sojourn-time AQM, the ``aqm`` drop cause, and ECN
+    mark-instead-of-drop. An unmanaged link pays exactly one extra
+    predictable branch per send/delivery over the seed's fast path —
+    the microbenchmark suite holds that line.
     """
 
     def __init__(self, sim: Simulator, rate_bps: float, delay_s: float,
-                 queue_packets: int = 100, name: str = "link") -> None:
+                 queue_packets: int = 100, name: str = "link",
+                 queue_bytes: Optional[int] = None) -> None:
         if rate_bps <= 0:
             raise ValueError("rate must be positive (use inf for ideal)")
         if delay_s < 0:
@@ -90,6 +105,20 @@ class Link:
         self.dropped_down = 0
         self.dropped_loss = 0
         self.bytes_sent = 0
+        # managed-mode state (AQM / queue_bytes / byte ledger); all of
+        # it stays inert — and the ledger stays zero — until
+        # _enable_managed() flips the one flag send() checks
+        self._managed = False
+        self._aqm: Optional[AqmDiscipline] = None
+        self.queue_bytes = queue_bytes
+        self.dropped_aqm = 0
+        self.marked_ecn = 0
+        self.offered_bytes = 0
+        self.delivered_bytes = 0
+        self.dropped_bytes = 0
+        self.in_flight_bytes = 0
+        self._egress_bytes = 0
+        self._egress_times: Optional[Deque[float]] = None
         #: the link's own loss stream, fetched once instead of a
         #: per-send f-string + registry lookup
         self._loss_rng = sim.rng(f"link-loss:{name}")
@@ -103,10 +132,48 @@ class Link:
             cause: metrics.counter("net.link.dropped", link=name, cause=cause)
             for cause in ("overflow", "down", "loss")
         }
+        if queue_bytes is not None:
+            if queue_bytes < 1:
+                raise ValueError("queue_bytes must hold at least one byte")
+            self._enable_managed()
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
         """Attach the downstream receive function."""
         self.receiver = receiver
+
+    # -- managed mode (AQM / ECN / byte accounting) ------------------------
+
+    def set_aqm(self, discipline: Optional[AqmDiscipline]) -> None:
+        """Install an AQM discipline (or ``None`` to keep the current
+        mode's drop-tail behaviour); installing one enables managed mode."""
+        self._aqm = discipline
+        if discipline is not None:
+            discipline.bind(self)
+            self._enable_managed()
+
+    def _enable_managed(self) -> None:
+        if self._managed:
+            return
+        if self.offered:
+            raise RuntimeError(
+                f"link {self.name!r}: AQM/queue_bytes must be configured "
+                "before any traffic (the byte ledger starts at zero)")
+        self._managed = True
+        self._egress_times = deque()
+        metrics = self.sim.metrics
+        self._m_drops["aqm"] = metrics.counter(
+            "net.link.dropped", link=self.name, cause="aqm")
+        self._m_marks = metrics.counter("net.link.ecn_marked", link=self.name)
+
+    def _mark(self, packet: Packet) -> bool:
+        """CE-mark an ECT packet; False means the caller must drop."""
+        if packet.ecn != ECN_ECT:
+            return False
+        packet.ecn = ECN_CE
+        self.marked_ecn += 1
+        self.sim.ecn_marks += 1
+        self._m_marks.inc()
+        return True
 
     @property
     def queue_depth(self) -> int:
@@ -130,6 +197,11 @@ class Link:
             self._advance(self.sim.now)
             if self._egress:
                 lost = len(self._egress)
+                if self._managed:
+                    self.dropped_bytes += self._egress_bytes
+                    self.in_flight_bytes -= self._egress_bytes
+                    self._egress_bytes = 0
+                    self._egress_times.clear()
                 self._egress.clear()
                 self.dropped += lost
                 self.dropped_down += lost
@@ -151,6 +223,8 @@ class Link:
             self.dropped_overflow += 1
         elif cause == "down":
             self.dropped_down += 1
+        elif cause == "aqm":
+            self.dropped_aqm += 1
         else:
             self.dropped_loss += 1
         self._m_drops[cause].inc()
@@ -159,9 +233,12 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet; returns False (and counts a drop by cause)
-        when the link is down, the loss draw fails, or the queue is full."""
+        when the link is down, the loss draw fails, the queue is full,
+        or — in managed mode — the AQM discipline says drop."""
         if self.receiver is None:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        if self._managed:
+            return self._send_managed(packet)
         self.offered += 1
         if not self.up:
             return self._drop("down")
@@ -176,9 +253,68 @@ class Link:
                 return self._drop("overflow")
             egress.append(packet)
             self.in_flight += 1
-            self._m_queue.set(len(egress))
+            qlen = len(egress)
+            self._m_queue.set(qlen)
+            sim = self.sim
+            if qlen > sim.link_peak_queue:
+                sim.link_peak_queue = qlen
             return True
         self.in_flight += 1
+        self._start_service(now, packet)
+        return True
+
+    def _send_managed(self, packet: Packet) -> bool:
+        """Managed-mode send: byte ledger, byte capacity, AQM, ECN."""
+        size = packet.size_bytes
+        self.offered += 1
+        self.offered_bytes += size
+        if not self.up:
+            self.dropped_bytes += size
+            return self._drop("down")
+        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
+            self.dropped_bytes += size
+            return self._drop("loss")
+        now = self.sim.now
+        if self._egress and self._service_done <= now:
+            self._advance_managed(now)
+        aqm = self._aqm
+        if self._service_done > now:  # serializer busy: join the queue
+            egress = self._egress
+            if len(egress) >= self.queue_packets or (
+                    self.queue_bytes is not None
+                    and self._egress_bytes + size > self.queue_bytes):
+                self.dropped_bytes += size
+                return self._drop("overflow")
+            if aqm is not None:
+                verdict = aqm.on_enqueue(len(egress), self._egress_bytes,
+                                         packet, now)
+                if verdict != PASS and (verdict == DROP
+                                        or not self._mark(packet)):
+                    self.dropped_bytes += size
+                    return self._drop("aqm")
+            egress.append(packet)
+            self._egress_times.append(now)
+            self._egress_bytes += size
+            self.in_flight += 1
+            self.in_flight_bytes += size
+            qlen = len(egress)
+            self._m_queue.set(qlen)
+            sim = self.sim
+            if qlen > sim.link_peak_queue:
+                sim.link_peak_queue = qlen
+            return True
+        if aqm is not None:
+            # empty queue: the enqueue hook still observes the arrival
+            # (RED's average) and the dequeue hook sees a zero sojourn
+            # (CoDel leaves its dropping state)
+            verdict = aqm.on_enqueue(0, 0, packet, now)
+            if verdict == PASS:
+                verdict = aqm.on_dequeue(0.0, now)
+            if verdict != PASS and (verdict == DROP or not self._mark(packet)):
+                self.dropped_bytes += size
+                return self._drop("aqm")
+        self.in_flight += 1
+        self.in_flight_bytes += size
         self._start_service(now, packet)
         return True
 
@@ -203,9 +339,43 @@ class Link:
 
     def _advance(self, now: float) -> None:
         """Promote queued packets whose service has started by ``now``."""
+        if self._managed:
+            self._advance_managed(now)
+            return
         egress = self._egress
         while egress and self._service_done <= now:
             packet = egress.popleft()
+            self._start_service(self._service_done, packet)
+            self._m_queue.set(len(egress))
+
+    def _advance_managed(self, now: float) -> None:
+        """Managed promotion: sojourn-time AQM at dequeue, byte ledger.
+
+        The sojourn a dequeue-side discipline (CoDel) sees is measured
+        against the packet's deterministic *service-start* time — the
+        pre-update ``_service_done`` chain — not the wall-clock moment
+        the lazy promotion happens to run, so verdicts are identical no
+        matter when the link is next touched.
+        """
+        egress = self._egress
+        times = self._egress_times
+        aqm = self._aqm
+        while egress and self._service_done <= now:
+            packet = egress.popleft()
+            enq_at = times.popleft()
+            size = packet.size_bytes
+            self._egress_bytes -= size
+            if aqm is not None:
+                start = self._service_done
+                verdict = aqm.on_dequeue(start - enq_at, start)
+                if verdict != PASS and (verdict == DROP
+                                        or not self._mark(packet)):
+                    self.in_flight -= 1
+                    self.in_flight_bytes -= size
+                    self.dropped_bytes += size
+                    self._drop("aqm")
+                    self._m_queue.set(len(egress))
+                    continue
             self._start_service(self._service_done, packet)
             self._m_queue.set(len(egress))
 
@@ -215,12 +385,21 @@ class Link:
         now = self.sim.now
         flight = self._flight
         receiver = self.receiver
+        managed = self._managed
         while flight and flight[0][0] <= now:
             _at, packet = flight.popleft()
             self.in_flight -= 1
             if not self.up:
+                if managed:
+                    size = packet.size_bytes
+                    self.in_flight_bytes -= size
+                    self.dropped_bytes += size
                 self._drop("down")  # cut mid-flight
                 continue
+            if managed:
+                size = packet.size_bytes
+                self.in_flight_bytes -= size
+                self.delivered_bytes += size
             self.delivered += 1
             self._m_delivered.inc()
             receiver(packet)

@@ -19,6 +19,14 @@ def _next_packet_id() -> int:
     return next(_packet_ids)
 
 
+#: ECN codepoints (two-bit field, RFC 3168): transports that opt in mark
+#: their data segments ECT; an AQM under congestion rewrites ECT -> CE
+#: instead of dropping; the receiver echoes CE back as ECE.
+ECN_NOT_ECT = 0
+ECN_ECT = 1
+ECN_CE = 3
+
+
 @dataclass(slots=True)
 class Packet:
     """A simulated IP datagram.
@@ -43,6 +51,9 @@ class Packet:
             hop is recorded.
         encap_stack: saved (src, dst, size) frames pushed by tunnels.
             ``None`` until the first encapsulation.
+        ecn: the ECN codepoint (:data:`ECN_NOT_ECT` default; transports
+            set :data:`ECN_ECT`, congested AQMs rewrite to
+            :data:`ECN_CE`).
     """
 
     src: Optional[IPv4Address]
@@ -55,6 +66,7 @@ class Packet:
     packet_id: int = 0
     hops: Optional[List[str]] = None
     encap_stack: Optional[List[Dict[str, Any]]] = None
+    ecn: int = ECN_NOT_ECT
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -144,6 +156,7 @@ class PacketPool:
         packet.payload = None
         packet.hops = None
         packet.encap_stack = None
+        packet.ecn = ECN_NOT_ECT
         free.append(packet)
 
     def __len__(self) -> int:

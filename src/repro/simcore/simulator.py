@@ -66,6 +66,10 @@ class Simulator:
         #: exported alongside heap_high_water (plain ints: passive)
         self.agent_peak_queue = 0
         self.agents_shed = 0
+        #: deepest link egress queue seen and total ECN CE-marks applied
+        #: — maintained by repro.net.links, same passive-int pattern
+        self.link_peak_queue = 0
+        self.ecn_marks = 0
         self._tracer = None
         self._profiler = None
         #: True iff a tracer or profiler is installed — the one flag the

@@ -42,6 +42,8 @@ class RunTelemetry:
                  heap_high_water: int = 0,
                  agent_peak_queue: int = 0,
                  agents_shed: int = 0,
+                 link_peak_queue: int = 0,
+                 ecn_marks: int = 0,
                  lifecycle: Optional[RunnerLifecycle] = None) -> None:
         self.registries = registries
         self.span_trackers = span_trackers
@@ -60,6 +62,12 @@ class RunTelemetry:
         #: control messages shed by overload protection, run-wide
         #: (sum over sims of ``Simulator.agents_shed``)
         self.agents_shed = agents_shed
+        #: deepest link egress queue across every collected simulator
+        #: (max over sims of ``Simulator.link_peak_queue``)
+        self.link_peak_queue = link_peak_queue
+        #: ECN CE-marks applied by AQM, run-wide
+        #: (sum over sims of ``Simulator.ecn_marks``)
+        self.ecn_marks = ecn_marks
 
     def metrics_rows(self) -> List[dict]:
         """Tagged snapshot rows across every collected registry."""
@@ -84,17 +92,21 @@ class WorkerSimTelemetry:
     """
 
     __slots__ = ("telemetry", "tracer", "profiler", "heap_high_water",
-                 "agent_peak_queue", "agents_shed")
+                 "agent_peak_queue", "agents_shed", "link_peak_queue",
+                 "ecn_marks")
 
     def __init__(self, telemetry: Any, tracer: Any, profiler: Any,
                  heap_high_water: int = 0, agent_peak_queue: int = 0,
-                 agents_shed: int = 0) -> None:
+                 agents_shed: int = 0, link_peak_queue: int = 0,
+                 ecn_marks: int = 0) -> None:
         self.telemetry = telemetry
         self.tracer = tracer
         self.profiler = profiler
         self.heap_high_water = heap_high_water
         self.agent_peak_queue = agent_peak_queue
         self.agents_shed = agents_shed
+        self.link_peak_queue = link_peak_queue
+        self.ecn_marks = ecn_marks
 
 
 class TelemetryHub:
@@ -174,6 +186,8 @@ class TelemetryHub:
         heap_high_water = 0
         agent_peak_queue = 0
         agents_shed = 0
+        link_peak_queue = 0
+        ecn_marks = 0
         for index, sim in enumerate(self._sims):
             tag = f"s{index}"
             registries.append((tag, sim.telemetry.metrics))
@@ -189,6 +203,10 @@ class TelemetryHub:
             if peak > agent_peak_queue:
                 agent_peak_queue = peak
             agents_shed += getattr(sim, "agents_shed", 0)
+            lpeak = getattr(sim, "link_peak_queue", 0)
+            if lpeak > link_peak_queue:
+                link_peak_queue = lpeak
+            ecn_marks += getattr(sim, "ecn_marks", 0)
         if len(self._shared):
             registries.append(("shared", self._shared))
         for index, registry in enumerate(self._worker_shared):
@@ -203,7 +221,7 @@ class TelemetryHub:
         self._lifecycle = None
         return RunTelemetry(registries, span_trackers, tracers, profiler,
                             heap_high_water, agent_peak_queue, agents_shed,
-                            lifecycle=lifecycle)
+                            link_peak_queue, ecn_marks, lifecycle=lifecycle)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
@@ -228,7 +246,9 @@ class TelemetryHub:
                                         sim.profiler,
                                         getattr(sim, "heap_high_water", 0),
                                         getattr(sim, "agent_peak_queue", 0),
-                                        getattr(sim, "agents_shed", 0))
+                                        getattr(sim, "agents_shed", 0),
+                                        getattr(sim, "link_peak_queue", 0),
+                                        getattr(sim, "ecn_marks", 0))
                      for sim in self._sims],
             "shared": self._shared if len(self._shared) else None,
         }

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Optional
 
 from repro.net.addressing import IPv4Address
 from repro.net.nodes import Host
-from repro.net.packet import Packet, PacketPool
+from repro.net.packet import ECN_CE, ECN_ECT, Packet, PacketPool
 from repro.simcore.simulator import ScheduledCall, Simulator
 
 #: Maximum segment size (application bytes per data segment).
@@ -115,6 +115,15 @@ class TransportConnection:
     Subclass contract: implement :meth:`connect` (client handshake),
     :meth:`accept` (server handshake reaction), and
     :meth:`on_local_address_change`.
+
+    ECN (``ecn=True``, default off): the sender marks its data segments
+    ECT; when an AQM under congestion rewrites one to CE, the receiver
+    echoes ``ece`` on its next cumulative ack and the sender halves
+    ``cwnd`` — once per window, like a fast retransmit without the
+    retransmission (RFC 3168, simplified). The receive side echoes CE
+    unconditionally (echoing requires having *seen* a mark, which
+    requires the peer opted in), so only the sending side needs the
+    flag set; with it off the whole path costs one boolean check.
     """
 
     #: RTT multiples for the retransmission timer.
@@ -123,13 +132,14 @@ class TransportConnection:
     def __init__(self, sim: Simulator, demux: TransportDemux,
                  conn_id: Optional[str] = None,
                  peer_addr: Optional[IPv4Address] = None,
-                 is_server: bool = False) -> None:
+                 is_server: bool = False, ecn: bool = False) -> None:
         self.sim = sim
         self.demux = demux
         self.host = demux.host
         self.conn_id = conn_id or f"conn-{next(_conn_ids)}"
         self.peer_addr = peer_addr
         self.is_server = is_server
+        self.ecn = ecn
         self.state = ConnectionState.IDLE
         demux.register(self.conn_id, self)
 
@@ -161,10 +171,15 @@ class TransportConnection:
         self._recovery_point = 0
         self._burst_recovery = False
         self._retx_done: set = set()
+        #: cwnd cut point for ECE: acks below this belong to a window
+        #: that already reacted, so at most one halving per RTT
+        self._ece_cut = 0
 
         # receive side
         self.rcv_nxt = 0
         self._reorder: Dict[int, int] = {}      # seq -> app bytes
+        #: a CE mark arrived and has not been echoed yet
+        self._ece_pending = False
 
         # RTT estimation
         self.srtt_s: Optional[float] = None
@@ -177,6 +192,8 @@ class TransportConnection:
         self.bytes_acked = 0          # sender side
         self.retransmissions = 0
         self.segments_lost_no_link = 0
+        self.ce_received = 0          # receiver side, CE-marked segments
+        self.ecn_responses = 0        # sender side, cwnd cuts from ECE
         self.established_at: Optional[float] = None
 
     # -- subclass API --------------------------------------------------------
@@ -224,17 +241,21 @@ class TransportConnection:
             self._send_queue_bytes -= chunk
             self._sent_sizes[seq] = chunk
             self._sent_times[seq] = self.sim.now
-            self._emit({"kind": "data", "seq": seq}, size=chunk + HEADER_BYTES)
+            self._emit({"kind": "data", "seq": seq}, size=chunk + HEADER_BYTES,
+                       ect=True)
         self._arm_rto()
 
     # -- segment I/O --------------------------------------------------------------
 
-    def _emit(self, header: Dict, size: int = HEADER_BYTES) -> None:
+    def _emit(self, header: Dict, size: int = HEADER_BYTES,
+              ect: bool = False) -> None:
         if self.peer_addr is None:
             raise RuntimeError(f"{self.conn_id}: no peer address")
         packet = _SEGMENT_POOL.acquire(
             self.host.address, self.peer_addr, size, flow_id=self.conn_id,
             payload=header, created_at=self.sim.now)
+        if ect and self.ecn:
+            packet.ecn = ECN_ECT
         try:
             self.host.send(packet)
         except (KeyError, RuntimeError):
@@ -262,6 +283,9 @@ class TransportConnection:
         if self.state is not ConnectionState.ESTABLISHED:
             return
         self._note_peer_packet(packet)
+        if packet.ecn == ECN_CE:
+            self.ce_received += 1
+            self._ece_pending = True
         seq = header["seq"]
         app_bytes = max(packet.size_bytes - HEADER_BYTES, 0)
         if seq >= self.rcv_nxt and seq not in self._reorder:
@@ -274,12 +298,18 @@ class TransportConnection:
             self.bytes_delivered += delivered_now
             if self.on_receive is not None:
                 self.on_receive(delivered_now)
-        self._emit({"kind": "ack", "ack": self.rcv_nxt})
+        if self._ece_pending:
+            self._ece_pending = False
+            self._emit({"kind": "ack", "ack": self.rcv_nxt, "ece": True})
+        else:
+            self._emit({"kind": "ack", "ack": self.rcv_nxt})
 
     def _on_ack(self, packet: Packet, header: Dict) -> None:
         if self.state is not ConnectionState.ESTABLISHED:
             return
         self._note_peer_packet(packet)
+        if self.ecn and "ece" in header:
+            self._on_ece()
         ack = header["ack"]
         if ack > self.snd_una:
             newly = range(self.snd_una, ack)
@@ -321,6 +351,21 @@ class TransportConnection:
 
     def _note_peer_packet(self, packet: Packet) -> None:
         """Hook: QUIC updates the peer address from authenticated packets."""
+
+    def _on_ece(self) -> None:
+        """React to an echoed congestion mark: halve once per window.
+
+        Same multiplicative decrease as a fast retransmit, but nothing
+        was lost so nothing is resent — this is the whole point of ECN
+        under sustained overload (E18): congestion feedback without the
+        retransmission storms that collapse drop-tail goodput.
+        """
+        if self.snd_una < self._ece_cut:
+            return  # this window already reacted
+        self._ece_cut = self.snd_nxt
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self.ecn_responses += 1
 
     def _grow_cwnd(self, n_acked: int) -> None:
         for _ in range(n_acked):
@@ -405,7 +450,8 @@ class TransportConnection:
             return
         self.retransmissions += 1
         self._sent_times[seq] = self.sim.now
-        self._emit({"kind": "data", "seq": seq}, size=size + HEADER_BYTES)
+        self._emit({"kind": "data", "seq": seq}, size=size + HEADER_BYTES,
+                   ect=True)
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -155,5 +155,7 @@ class QuicConnection(TransportConnection):
 class QuicListener(Listener):
     """Accepts QUIC connections (fresh or 0-RTT) on a server host."""
 
-    def __init__(self, sim, demux: TransportDemux) -> None:
-        super().__init__(sim, demux, QuicConnection)
+    def __init__(self, sim, demux: TransportDemux, ecn: bool = False) -> None:
+        def factory(**kwargs):
+            return QuicConnection(ecn=ecn, **kwargs)
+        super().__init__(sim, demux, factory)

@@ -108,7 +108,8 @@ class TcpConnection(TransportConnection):
 class TcpListener(Listener):
     """Accepts TCP connections on a server host."""
 
-    def __init__(self, sim, demux: TransportDemux, tls: bool = True) -> None:
+    def __init__(self, sim, demux: TransportDemux, tls: bool = True,
+                 ecn: bool = False) -> None:
         def factory(**kwargs):
-            return TcpConnection(tls=tls, **kwargs)
+            return TcpConnection(tls=tls, ecn=ecn, **kwargs)
         super().__init__(sim, demux, factory)

@@ -254,3 +254,148 @@ class VideoStreamSource(_Source):
         while True:
             self._emit(segment_bytes)
             yield self.sim.timeout(self.segment_s)
+
+
+class DiurnalCurve:
+    """Deterministic time-of-day load multiplier (Elnashar's busy hour).
+
+    A raised cosine over ``period_s``: 1.0 at the peak (``peak_at`` into
+    the period), ``trough`` at the opposite phase. Pure arithmetic on
+    the sim clock — no RNG, no events — so two sources modulated by the
+    same curve stay phase-locked and a run stays reproducible.
+
+    For experiments that cannot afford a 24 h horizon, compress the
+    period: a 60 s period sweeps trough -> peak -> trough inside one
+    E18 cell, which is the shape (not the wall-clock) the SLA tables
+    need.
+    """
+
+    def __init__(self, period_s: float = 86_400.0, trough: float = 0.2,
+                 peak_at: float = 0.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < trough <= 1.0:
+            raise ValueError("trough must be in (0, 1]")
+        self.period_s = period_s
+        self.trough = trough
+        self.peak_at = peak_at
+
+    def factor(self, now: float) -> float:
+        """Load multiplier in [trough, 1.0] at sim time ``now``."""
+        phase = 2.0 * np.pi * ((now - self.peak_at) / self.period_s)
+        mid = (1.0 + self.trough) / 2.0
+        amp = (1.0 - self.trough) / 2.0
+        return mid + amp * float(np.cos(phase))
+
+
+class ParetoFlowSource(_Source):
+    """Heavy-tailed flow arrivals: Poisson starts, Pareto sizes.
+
+    The defining property of measured Internet traffic (and the reason
+    drop-tail queues collapse in E18): most flows are mice, a rare few
+    are elephants carrying most of the bytes. ``alpha`` close to 1
+    makes the tail heavier; sizes are capped at ``max_bytes`` so a
+    single draw cannot exceed an experiment's horizon.
+
+    An optional :class:`DiurnalCurve` modulates the *arrival rate*
+    (thinning: an arrival survives with probability ``factor(now)``),
+    so offered load follows the time-of-day shape while per-flow sizes
+    keep their distribution.
+    """
+
+    def __init__(self, sim: Simulator, emit: Emit, rate_per_s: float,
+                 mean_bytes: int = 200_000, alpha: float = 1.3,
+                 max_bytes: int = 50_000_000,
+                 diurnal: Optional[DiurnalCurve] = None,
+                 name: str = "pareto") -> None:
+        super().__init__(sim, emit, name)
+        if rate_per_s <= 0 or mean_bytes <= 0:
+            raise ValueError("rate and mean size must be positive")
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 (finite mean)")
+        if max_bytes < mean_bytes:
+            raise ValueError("max_bytes must be >= mean_bytes")
+        self.rate_per_s = rate_per_s
+        self.alpha = alpha
+        #: Pareto scale chosen so E[size] = mean_bytes: x_m = m (a-1)/a
+        self.scale_bytes = mean_bytes * (alpha - 1.0) / alpha
+        self.max_bytes = max_bytes
+        self.diurnal = diurnal
+        self.flows_started = 0
+        self.arrivals_thinned = 0
+
+    def _run(self):
+        rng = self.sim.rng(f"traffic:{self.name}")
+        while True:
+            yield self.sim.timeout(
+                float(rng.exponential(1.0 / self.rate_per_s)))
+            if self.diurnal is not None:
+                if float(rng.random()) >= self.diurnal.factor(self.sim.now):
+                    self.arrivals_thinned += 1
+                    continue
+            # numpy's pareto() is the Lomax form; add 1 for classic Pareto
+            size = int(self.scale_bytes * (1.0 + float(
+                rng.pareto(self.alpha))))
+            self.flows_started += 1
+            self._emit(min(max(size, 1), self.max_bytes))
+
+
+class VoipSource(_Source):
+    """Talk-spurt VoIP: small CBR frames while talking, silence between.
+
+    The GBR workload for QoS policing: tiny packets (a G.711-ish 20 ms
+    frame), strict latency sensitivity, negligible aggregate rate — the
+    class a policer must keep flowing while bulk flows shed.
+    """
+
+    def __init__(self, sim: Simulator, emit: Emit, frame_bytes: int = 200,
+                 frame_interval_s: float = 0.02, mean_talk_s: float = 3.0,
+                 mean_silence_s: float = 3.0, name: str = "voip") -> None:
+        super().__init__(sim, emit, name)
+        if min(frame_bytes, frame_interval_s,
+               mean_talk_s, mean_silence_s) <= 0:
+            raise ValueError("frame and spurt parameters must be positive")
+        self.frame_bytes = frame_bytes
+        self.frame_interval_s = frame_interval_s
+        self.mean_talk_s = mean_talk_s
+        self.mean_silence_s = mean_silence_s
+
+    def _run(self):
+        rng = self.sim.rng(f"traffic:{self.name}")
+        while True:
+            talk_until = self.sim.now + float(
+                rng.exponential(self.mean_talk_s))
+            while self.sim.now < talk_until:
+                self._emit(self.frame_bytes)
+                yield self.sim.timeout(self.frame_interval_s)
+            yield self.sim.timeout(
+                float(rng.exponential(self.mean_silence_s)))
+
+
+#: E18's mixed application profiles: constructor + kwargs per app class,
+#: keyed by the QoS class name the SLA tables report under. ``web``
+#: rides ParetoFlowSource (heavy-tailed page fetches), ``video`` emits
+#: steady segments, ``voip`` talk-spurts.
+APP_PROFILES = {
+    "web": (ParetoFlowSource, {"rate_per_s": 0.5, "mean_bytes": 120_000,
+                               "alpha": 1.3}),
+    "video": (VideoStreamSource, {"bitrate_bps": 1.0e6, "segment_s": 4.0}),
+    "voip": (VoipSource, {}),
+}
+
+
+def make_app_source(app: str, sim: Simulator, emit: Emit, name: str,
+                    **overrides) -> _Source:
+    """Instantiate one of :data:`APP_PROFILES` (``web``/``video``/``voip``).
+
+    ``overrides`` land on top of the profile's defaults, so an
+    experiment can scale a profile (e.g. ``rate_per_s``) per load cell
+    without redefining it.
+    """
+    try:
+        cls, defaults = APP_PROFILES[app]
+    except KeyError:
+        raise ValueError(f"unknown app profile {app!r} "
+                         f"(have {sorted(APP_PROFILES)})") from None
+    kwargs = {**defaults, **overrides}
+    return cls(sim, emit, name=name, **kwargs)

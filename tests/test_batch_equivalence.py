@@ -20,7 +20,7 @@ from repro.mac import batch_mode
 from tests.test_parallel_determinism import CASES, _render, _run_at
 
 #: TTI-heavy experiments worth re-checking across the worker pool.
-JOBS_SUBSET = [c for c in CASES if c[0] in ("E5", "E7", "E17")]
+JOBS_SUBSET = [c for c in CASES if c[0] in ("E5", "E7", "E17", "E18")]
 
 
 def _run(exp_id, kwargs, batch):

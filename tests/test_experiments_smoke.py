@@ -22,6 +22,7 @@ from repro.experiments import (
     e14_nr_upgrade,
     e16_resilience,
     e17_attach_storm,
+    e18_sustained_overload,
     t1_design_space,
 )
 from repro.metrics.tables import ResultTable
@@ -30,7 +31,7 @@ from repro.metrics.tables import ResultTable
 def test_registry_covers_all_ids():
     assert set(ALL_EXPERIMENTS) == {
         "T1", "F1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-        "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+        "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
         assert module.__doc__
@@ -113,3 +114,18 @@ def test_e17_smoke():
     success = table.column("attach_success")
     for cent, dlte in zip(success[0::2], success[1::2]):
         assert dlte >= cent
+
+
+def test_e18_smoke():
+    table = e18_sustained_overload.run(
+        loads=(0.5, 5.0), n_aps=1, ue_per_ap=3, settle_s=4.0,
+        warmup_s=1.0, measure_s=8.0)
+    _check(table, 8)
+    # robustness contract: at the overload point, AQM+ECN goodput is
+    # never below the drop-tail control for the same architecture
+    goodput = table.column("goodput_mbps")
+    marks = table.column("ecn_marks")
+    for droptail, aqm in zip(goodput[-4::2], goodput[-3::2]):
+        assert aqm >= droptail
+    # the AQM arm actually marked something at overload
+    assert sum(marks[-3::2]) > 0

@@ -41,6 +41,8 @@ CASES = [
              "horizon_s": 15.0}),
     ("E17", {"intensities": (1, 4), "n_aps": 2, "ue_per_ap": 3,
              "horizon_s": 12.0}),
+    ("E18", {"loads": (0.5, 5.0), "n_aps": 1, "ue_per_ap": 3,
+             "settle_s": 4.0, "warmup_s": 1.0, "measure_s": 8.0}),
 ]
 
 
