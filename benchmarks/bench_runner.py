@@ -101,6 +101,13 @@ SPECS: List[Spec] = [
          {"loads": (0.5, 4.0), "n_aps": 1, "ue_per_ap": 3,
           "settle_s": 4.0, "warmup_s": 1.0, "measure_s": 6.0},
          repeats=1, seeded=True),
+    # city sharding: the conservative-window engine end to end — attach
+    # storm + packet foreground + fluid background over two shards in
+    # serial mode (the fork path is measured by the --shards section)
+    Spec("E19-city", "E19",
+         {"n_cells": 8, "ue_per_cell": 2, "background_per_cell": 40,
+          "shards": 2, "horizon_s": 4.0},
+         repeats=1, seeded=True),
     # full set only: the heavy sweeps the --jobs work targets
     Spec("E5-coordination", "E5", repeats=2, quick=False, seeded=True),
     Spec("E6-small", "E6", {"dwells_s": [3.0, 1.0]}, repeats=1,
@@ -155,6 +162,7 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
     shed = 0
     link_peak = 0
     ecn_marks = 0
+    shards: List[Dict[str, object]] = []
     for _ in range(max(1, repeats)):
         HUB.start_run()
         try:
@@ -170,7 +178,19 @@ def _time_call(fn: Callable[[], object], repeats: int) -> tuple:
         shed = max(shed, run.agents_shed)
         link_peak = max(link_peak, run.link_peak_queue)
         ecn_marks = max(ecn_marks, run.ecn_marks)
-    return best, heap_hwm, agent_peak, shed, link_peak, ecn_marks
+        if run.shard_stats:
+            # deterministic across repeats except the timings; keep the
+            # last repeat's view (one row per shard per sharded run)
+            shards = [{
+                "shard": s.get("shard"),
+                "label": s.get("label", ""),
+                "events": s.get("events"),
+                "heap_hwm": s.get("heap_hwm"),
+                "windows": s.get("windows"),
+                "exec_s": round(s.get("exec_s", 0.0), 4),
+                "barrier_wait_s": round(s.get("barrier_wait_s", 0.0), 4),
+            } for s in run.shard_stats]
+    return best, heap_hwm, agent_peak, shed, link_peak, ecn_marks, shards
 
 
 def _profile_call(fn: Callable[[], object], top_n: int,
@@ -225,9 +245,63 @@ def _run_suite(ids: List[str], jobs: int) -> float:
         set_jobs(1)
 
 
+#: The E19 configuration the --shards scaling curve is measured on.
+SHARDING_CONFIG: Dict[str, object] = {
+    "n_cells": 16, "ue_per_cell": 2, "background_per_cell": 48,
+    "horizon_s": 4.0,
+}
+
+
+def _run_sharding(max_shards: int) -> Dict[str, object]:
+    """Wall-clock E19 at 1/2/4 shards (fork mode past one shard).
+
+    The sharded engine's determinism bar is enforced for free here: the
+    rendered table must be byte-identical at every shard count, or the
+    section reports ``identical_output: false`` (and the bench is
+    telling you the engine is broken, not slow). Speedups are relative
+    to the one-shard run; like the ``parallel`` section, ``cpus`` is
+    recorded so ``compare.py`` can refuse to judge a timeshared box.
+    """
+    from repro.experiments import e19_city
+
+    counts = [c for c in (1, 2, 4) if c <= max(max_shards, 1)]
+    seed = derive_seed(BENCH_ROOT_SEED, "sharding")
+    points: List[Dict[str, object]] = []
+    renders: List[str] = []
+    base_wall: Optional[float] = None
+    for shards in counts:
+        mode = "fork" if shards > 1 else "serial"
+        start = time.perf_counter()
+        table = e19_city.run(shards=shards, mode=mode, seed=seed,
+                             **SHARDING_CONFIG)
+        wall = time.perf_counter() - start
+        renders.append(table.render())
+        if base_wall is None:
+            base_wall = wall
+        points.append({
+            "shards": shards,
+            "mode": mode,
+            "wall_s": round(wall, 3),
+            "speedup": round(base_wall / wall, 2) if wall > 0
+            else float("nan"),
+        })
+        print(f"  sharding {shards}x ({mode:<6}) {wall:8.3f} s  "
+              f"({points[-1]['speedup']:.2f}x vs 1 shard)")
+    identical = all(r == renders[0] for r in renders)
+    if not identical:
+        print("  sharding: WARNING — output differs across shard counts")
+    return {
+        "experiment": "E19",
+        "config": dict(SHARDING_CONFIG),
+        "cpus": os.cpu_count(),
+        "points": points,
+        "identical_output": identical,
+    }
+
+
 def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
                    folded_dir: Optional[str] = None,
-                   top_n: int = 12) -> Dict[str, object]:
+                   top_n: int = 12, shards: int = 1) -> Dict[str, object]:
     specs = [s for s in SPECS if s.quick or not quick]
     print("calibrating dispatch kernel ...", flush=True)
     calibration_s = _calibrate()
@@ -236,8 +310,8 @@ def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
         os.makedirs(folded_dir, exist_ok=True)
     results: Dict[str, Dict[str, object]] = {}
     for spec in specs:
-        (wall, heap_hwm, agent_peak, shed,
-         link_peak, ecn_marks) = _time_call(spec.build_call(), spec.repeats)
+        (wall, heap_hwm, agent_peak, shed, link_peak,
+         ecn_marks, shard_rows) = _time_call(spec.build_call(), spec.repeats)
         results[spec.name] = {
             "wall_s": round(wall, 4),
             "normalized": round(wall / calibration_s, 3),
@@ -247,6 +321,8 @@ def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
             "link_peak_queue": link_peak,
             "ecn_marks": ecn_marks,
         }
+        if shard_rows:
+            results[spec.name]["shards"] = shard_rows
         if profile:
             folded_path = (os.path.join(folded_dir, f"{spec.name}.folded")
                            if folded_dir else None)
@@ -281,6 +357,8 @@ def run_benchmarks(quick: bool, jobs: int, profile: bool = True,
         print(f"  parallel suite       {serial_s:8.3f} s serial vs "
               f"{parallel_s:.3f} s at --jobs {jobs} "
               f"({speedup:.2f}x)")
+    if shards > 1:
+        report["sharding"] = _run_sharding(shards)
     return report
 
 
@@ -320,6 +398,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="also measure the multi-experiment suite at "
                              "N workers vs serial")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="also measure the E19 shard-count scaling "
+                             "curve (1/2/4 capped at N, fork mode)")
     parser.add_argument("--out", metavar="PATH",
                         help="output path (default benchmarks/"
                              "BENCH_<date>.json)")
@@ -340,7 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_benchmarks(quick=args.quick, jobs=args.jobs,
                             profile=not args.skip_profile,
-                            folded_dir=args.folded_dir)
+                            folded_dir=args.folded_dir,
+                            shards=args.shards)
     out = args.out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)),
         f"BENCH_{report['date']}.json")

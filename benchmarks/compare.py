@@ -179,6 +179,41 @@ def render_parallel(old: Dict[str, object],
     return "\n".join(lines)
 
 
+def render_sharding(old: Dict[str, object],
+                    new: Dict[str, object]) -> str:
+    """Shard-count scaling curve — held to the same hardware honesty
+    bar as the parallel section: a box with fewer cores than shards is
+    timesharing, and its speedup is printed but not judged. A broken
+    determinism bar (``identical_output`` false) is always called out —
+    that is a correctness failure wearing a benchmark's clothes."""
+    s_new = new.get("sharding")
+    if not isinstance(s_new, dict):
+        return ""
+    s_old = old.get("sharding") if isinstance(old.get("sharding"), dict) \
+        else None
+    cpus = s_new.get("cpus", new.get("cpus"))
+    points = s_new.get("points") or []
+    old_points = {p.get("shards"): p
+                  for p in ((s_old or {}).get("points") or [])}
+    lines = ["", f"sharding scaling ({s_new.get('experiment')}):"]
+    for point in points:
+        ref = old_points.get(point.get("shards"))
+        old_speedup = ref.get("speedup") if ref else None
+        lines.append(
+            f"  {point.get('shards')} shards ({point.get('mode')}): "
+            f"wall {point.get('wall_s')} s, speedup "
+            f"{old_speedup if old_speedup is not None else '-'} -> "
+            f"{point.get('speedup')}")
+    max_shards = max((p.get("shards", 1) for p in points), default=1)
+    if isinstance(cpus, int) and cpus < max_shards:
+        lines.append(f"  speedup not comparable: {cpus} cpus for "
+                     f"{max_shards} shards (timesharing, not parallelism)")
+    if not s_new.get("identical_output", True):
+        lines.append("  DETERMINISM FAILURE: output differs across shard "
+                     "counts")
+    return "\n".join(lines)
+
+
 def _fmt(value: Optional[float], width: int, places: int = 2) -> str:
     if value is None:
         return "-".rjust(width)
@@ -250,6 +285,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parallel = render_parallel(old, new)
     if parallel:
         print(parallel)
+    sharding = render_sharding(old, new)
+    if sharding:
+        print(sharding)
     if args.attribution_out:
         with open(args.attribution_out, "w") as fh:
             json.dump({"old": args.old, "new": args.new,

@@ -157,6 +157,15 @@ def _export_run(exp_id: str, run, metrics_out: Optional[str],
             print(category_table.render())
     if run.lifecycle is not None and run.lifecycle.maps:
         print(f"[{exp_id} runner: {run.lifecycle.summary_line()}]")
+    if run.shard_stats:
+        for entry in run.shard_stats:
+            label = entry.get("label", "sharded")
+            print(f"[{exp_id} shard {entry['shard']} ({label}): "
+                  f"{entry['events']:,} events, "
+                  f"heap hwm {entry['heap_hwm']}, "
+                  f"{entry['windows']} windows, "
+                  f"exec {entry['exec_s']:.3f} s, "
+                  f"barrier wait {entry['barrier_wait_s']:.3f} s]")
     print()
 
 
@@ -227,7 +236,7 @@ def run_experiment(exp_id: str, metrics_out: Optional[str] = None,
 
 #: Experiments whose run() fans its own sweep cells over the worker
 #: pool; they run in the parent so the whole pool serves their cells.
-CELL_PARALLEL_IDS = ("E6", "E7", "E17", "E18")
+CELL_PARALLEL_IDS = ("E6", "E7", "E17", "E18", "E19")
 
 #: Rough serial seconds per experiment (measured on the reference box);
 #: only the ordering matters — longest-first submission of the fan-out.

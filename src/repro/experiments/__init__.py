@@ -23,6 +23,7 @@ from repro.experiments import (
     e16_resilience,
     e17_attach_storm,
     e18_sustained_overload,
+    e19_city,
     f1_path_comparison,
     t1_design_space,
 )
@@ -46,6 +47,7 @@ ALL_EXPERIMENTS = {
     "E16": e16_resilience,
     "E17": e17_attach_storm,
     "E18": e18_sustained_overload,
+    "E19": e19_city,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

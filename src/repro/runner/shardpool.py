@@ -1,0 +1,188 @@
+"""Fork-worker pool for sharded simulation: one process per shard.
+
+The :class:`~repro.simcore.sharded.ShardedSimulator` façade drives its
+shards through a small driver interface (``couplings`` / ``start_time``
+/ ``step`` / ``harvest`` / ``close``). This module is the multi-process
+implementation: each shard gets a forked worker holding the built
+:class:`~repro.simcore.sharded.ShardHost`, and every window is one
+pipe round-trip per shard — the parent broadcasts ``(step, until,
+final, records)``, the workers advance concurrently, and the parent
+gathers each shard's egress and execution wall-clock at the barrier.
+
+Differences from :func:`repro.runner.parallel.parallel_map` (which fans
+*independent* cells): shard workers are **stateful** — the simulator
+lives in the worker across all windows, so per-window traffic is just
+the cross-shard records, not the world. The pool reuses the runner's
+conventions: fork start method, :func:`~repro.runner.parallel.mark_worker`
+(nested pools degrade to serial), SIGINT shielding, and the telemetry
+hub's worker export/absorb protocol so ``--profile`` output merges
+per-shard data exactly like a serial drive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import traceback
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.runner.parallel import mark_worker
+from repro.telemetry.hub import HUB
+
+__all__ = ["ShardWorkerError", "ShardWorkerPool"]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised (or died); carries the worker-side traceback."""
+
+    def __init__(self, shard: int, exc_type: str, traceback_text: str) -> None:
+        super().__init__(
+            f"shard {shard} worker failed with {exc_type}; "
+            f"original traceback:\n{traceback_text}")
+        self.shard = shard
+        self.exc_type = exc_type
+        self.traceback_text = traceback_text
+
+
+def _shard_worker_main(conn, builder: Callable[[Any], Any], spec: Any,
+                       collect: bool, profile: bool, trace: bool) -> None:
+    """Worker loop: build the shard, then serve window steps until harvest."""
+    mark_worker()  # also aborts any hub run inherited via fork
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    if collect:
+        HUB.start_run(profile=profile, trace=trace)
+    try:
+        host = builder(spec)
+        conn.send(("ready", host.sim.now, list(host.boundary.couplings)))
+        import time as _time
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "step":
+                _op, until, final, records = msg
+                t0 = _time.perf_counter()
+                host.inject(records)
+                host.advance(until, final)
+                spent = _time.perf_counter() - t0
+                conn.send(("ok", host.boundary.drain(), spent))
+            elif op == "harvest":
+                result = host.harvest()
+                stats = host.stats()
+                payload = HUB.export_worker_run() if collect else None
+                conn.send(("done", result, stats, payload))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown shard op {op!r}")
+    except BaseException as exc:
+        if collect and HUB.active:
+            HUB.abort_run()
+        try:
+            conn.send(("error", type(exc).__name__, traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ShardWorkerPool:
+    """Driver that runs each shard in its own forked process."""
+
+    def __init__(self, builder: Callable[[Any], Any], specs: Sequence[Any]) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self._collect = HUB.active
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        self._start_time = 0.0
+        self._couplings: List[List[Tuple[str, int, float]]] = []
+        profile, trace = HUB.profiling, HUB.tracing
+        try:
+            for spec in specs:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, builder, spec,
+                          self._collect, profile, trace),
+                    daemon=True)
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            starts = []
+            for shard, conn in enumerate(self._conns):
+                reply = self._recv(shard, conn, expect="ready")
+                starts.append(reply[1])
+                self._couplings.append(reply[2])
+            self._start_time = max(starts)
+        except BaseException:
+            self.close()
+            raise
+
+    def _recv(self, shard: int, conn, expect: str):
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError):
+            raise ShardWorkerError(shard, "WorkerDied",
+                                   "worker exited without a reply "
+                                   "(killed or crashed hard)") from None
+        if reply[0] == "error":
+            raise ShardWorkerError(shard, reply[1], reply[2])
+        if reply[0] != expect:  # pragma: no cover - protocol bug
+            raise ShardWorkerError(shard, "Protocol",
+                                   f"expected {expect!r}, got {reply[0]!r}")
+        return reply
+
+    def couplings(self) -> List[List[Tuple[str, int, float]]]:
+        return self._couplings
+
+    def start_time(self) -> float:
+        return self._start_time
+
+    def step(self, until: float, final: bool,
+             injections: Sequence[Sequence[Any]],
+             ) -> Tuple[List[List[Any]], List[float]]:
+        for conn, records in zip(self._conns, injections):
+            conn.send(("step", until, final, records))
+        egress: List[List[Any]] = []
+        exec_s: List[float] = []
+        for shard, conn in enumerate(self._conns):
+            reply = self._recv(shard, conn, expect="ok")
+            egress.append(reply[1])
+            exec_s.append(reply[2])
+        return egress, exec_s
+
+    def harvest(self) -> Tuple[List[Any], List[Dict[str, Any]]]:
+        for conn in self._conns:
+            conn.send(("harvest",))
+        results: List[Any] = []
+        stats: List[Dict[str, Any]] = []
+        payloads: List[Any] = []
+        for shard, conn in enumerate(self._conns):
+            reply = self._recv(shard, conn, expect="done")
+            results.append(reply[1])
+            stats.append(reply[2])
+            payloads.append(reply[3])
+        if self._collect:
+            # Absorb in shard order so merged telemetry matches a
+            # serial drive's adoption order.
+            for payload in payloads:
+                if payload is not None:
+                    HUB.absorb_worker_run(payload)
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        return results, stats
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        self._procs = []
+        self._conns = []

@@ -13,6 +13,12 @@ reproduction.
 from repro.simcore.events import Event, EventCancelled, Timeout
 from repro.simcore.process import Process, ProcessKilled
 from repro.simcore.rng import RngRegistry
+from repro.simcore.sharded import (
+    ShardBoundary,
+    ShardHost,
+    ShardedSimulator,
+    ZeroLookaheadError,
+)
 from repro.simcore.simulator import ScheduledCall, Simulator
 from repro.simcore.trace import TraceEvent, Tracer
 
@@ -24,7 +30,11 @@ __all__ = [
     "ProcessKilled",
     "RngRegistry",
     "ScheduledCall",
+    "ShardBoundary",
+    "ShardHost",
+    "ShardedSimulator",
     "Simulator",
+    "ZeroLookaheadError",
     "Tracer",
     "TraceEvent",
 ]

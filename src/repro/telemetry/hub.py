@@ -44,7 +44,8 @@ class RunTelemetry:
                  agents_shed: int = 0,
                  link_peak_queue: int = 0,
                  ecn_marks: int = 0,
-                 lifecycle: Optional[RunnerLifecycle] = None) -> None:
+                 lifecycle: Optional[RunnerLifecycle] = None,
+                 shard_stats: Optional[List[dict]] = None) -> None:
         self.registries = registries
         self.span_trackers = span_trackers
         self.tracers = tracers
@@ -68,6 +69,10 @@ class RunTelemetry:
         #: ECN CE-marks applied by AQM, run-wide
         #: (sum over sims of ``Simulator.ecn_marks``)
         self.ecn_marks = ecn_marks
+        #: per-shard stats dicts noted by ShardedSimulator runs (events,
+        #: heap_hwm, windows, exec_s, barrier_wait_s per shard); empty
+        #: for unsharded runs
+        self.shard_stats = shard_stats if shard_stats is not None else []
 
     def metrics_rows(self) -> List[dict]:
         """Tagged snapshot rows across every collected registry."""
@@ -121,6 +126,7 @@ class TelemetryHub:
         self._shared = MetricsRegistry()
         self._worker_shared: List[MetricsRegistry] = []
         self._lifecycle: Optional[RunnerLifecycle] = None
+        self._shard_stats: List[dict] = []
 
     @property
     def registry(self) -> MetricsRegistry:
@@ -161,6 +167,7 @@ class TelemetryHub:
         self._shared = MetricsRegistry()
         self._worker_shared = []
         self._lifecycle = RunnerLifecycle()
+        self._shard_stats = []
 
     def adopt(self, sim: Any) -> None:
         """Called by every Simulator constructor; no-op outside a run."""
@@ -172,6 +179,13 @@ class TelemetryHub:
         if self._trace and sim.tracer is None:
             from repro.simcore.trace import Tracer
             sim.tracer = Tracer(max_events=self._trace_capacity)
+
+    def note_shards(self, stats: List[dict]) -> None:
+        """Record per-shard stats from a ShardedSimulator; no-op outside
+        a run. Called once per sharded run (an experiment with several
+        arms notes once per arm)."""
+        if self.active:
+            self._shard_stats.extend(stats)
 
     def finish_run(self) -> RunTelemetry:
         """Stop collecting and return everything gathered."""
@@ -216,12 +230,15 @@ class TelemetryHub:
             # tagged "runner" so byte-identity checks can exclude the one
             # family that legitimately differs between serial and --jobs
             registries.append(("runner", lifecycle.registry))
+        shard_stats = self._shard_stats
         self._sims = []
         self._worker_shared = []
         self._lifecycle = None
+        self._shard_stats = []
         return RunTelemetry(registries, span_trackers, tracers, profiler,
                             heap_high_water, agent_peak_queue, agents_shed,
-                            link_peak_queue, ecn_marks, lifecycle=lifecycle)
+                            link_peak_queue, ecn_marks, lifecycle=lifecycle,
+                            shard_stats=shard_stats)
 
     def abort_run(self) -> None:
         """Drop an active run without collecting (test cleanup)."""
@@ -229,6 +246,7 @@ class TelemetryHub:
         self._sims = []
         self._worker_shared = []
         self._lifecycle = None
+        self._shard_stats = []
 
     # -- worker shipping (see repro.runner.parallel) -----------------------
 
@@ -251,10 +269,12 @@ class TelemetryHub:
                                         getattr(sim, "ecn_marks", 0))
                      for sim in self._sims],
             "shared": self._shared if len(self._shared) else None,
+            "shards": self._shard_stats,
         }
         self.active = False
         self._sims = []
         self._lifecycle = None
+        self._shard_stats = []
         return payload
 
     def absorb_worker_run(self, payload: dict) -> None:
@@ -269,6 +289,7 @@ class TelemetryHub:
         self._sims.extend(payload["sims"])
         if payload["shared"] is not None:
             self._worker_shared.append(payload["shared"])
+        self._shard_stats.extend(payload.get("shards", ()))
 
 
 #: The process-wide hub every Simulator announces itself to.

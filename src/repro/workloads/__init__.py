@@ -1,6 +1,7 @@
 """Workloads: traffic generators and deployment topologies."""
 
-from repro.workloads.topology import FarmCorridor, RuralTown
+from repro.workloads.fluid import FluidCellLoad
+from repro.workloads.topology import CityGrid, FarmCorridor, RuralTown
 from repro.workloads.traffic import (
     CbrSource,
     FlashCrowdAttachSource,
@@ -14,6 +15,8 @@ from repro.workloads.traffic import (
 __all__ = [
     "RuralTown",
     "FarmCorridor",
+    "CityGrid",
+    "FluidCellLoad",
     "CbrSource",
     "PoissonSource",
     "OnOffSource",

@@ -1,0 +1,130 @@
+"""Fluid background traffic: aggregate per-cell load without per-packet events.
+
+At city scale the background population (10^5 UEs browsing, idling,
+syncing) cannot afford one event per packet — SimuLTE's measurements
+put per-packet event cost as the binding constraint for LTE simulation
+well before that point. The hybrid abstraction: **foreground** flows
+keep full packet fidelity on the data path, while **background** UEs
+per cell collapse into one :class:`FluidCellLoad` that advances in
+epochs and moves *bits*, not packets.
+
+Per epoch the load runs exactly one TTI of the cell's real scheduler
+over a small set of representative radio contexts (so capacity reflects
+the actual PHY: link budget, CQI, HARQ, PRB allocation) and scales it
+by the TTIs in the epoch::
+
+    capacity_bits = sum(cell.schedule_tti().values()) * epoch_s / TTI_S
+    served_bits   = min(demand_bits, capacity_bits)
+
+Equivalence contract (tested in ``tests/test_fluid_traffic.py``): for a
+**stationary** scheduler — one whose grants depend only on the fixed
+radio geometry, e.g. max-C/I with static representatives and saturated
+backlogs — the epoch integral equals the dense per-TTI loop exactly
+(up to float summation order: ``K`` equal additions versus one
+multiply by ``K``). History-bearing schedulers (proportional fair) update
+their EWMA once per epoch instead of once per TTI; the fluid tier
+treats the epoch as CQI-coherent, which is the documented seed-matched
+approximation. Determinism: representative placement and demand jitter
+draw from the named stream ``fluid:{cell}``, so a fluid cell produces
+identical numbers at any shard count and in any process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.enodeb.cell import Cell, UeRadioContext
+from repro.geo.points import Point
+from repro.phy.linkbudget import Radio
+from repro.simcore.simulator import Simulator
+
+__all__ = ["FluidCellLoad", "TTI_S"]
+
+#: LTE subframe duration — one scheduling opportunity.
+TTI_S = 1e-3
+
+
+class FluidCellLoad:
+    """Aggregate downlink load of ``n_ues`` background users on one cell.
+
+    Args:
+        sim: the event kernel (one epoch event per ``epoch_s``).
+        cell: the radio arena to draw capacity from. The fluid load owns
+            the cell's arena population — foreground flows ride the
+            backhaul packet path, not the radio arena — so the single
+            representative TTI measures background capacity.
+        n_ues: background population size this load stands in for.
+        demand_bps_per_ue: offered downlink rate per background user.
+        epoch_s: integration step; smaller tracks demand jitter finer at
+            more events. Must be a multiple of the TTI in spirit —
+            fractional TTIs are allowed and scale linearly.
+        rep_ues: representative radio contexts placed in the cell
+            (capacity sampling resolution; capped at ``n_ues``).
+        radius_m: placement disk radius around the cell site.
+        jitter: demand modulation amplitude (0 disables): each epoch's
+            demand is scaled by ``1 + jitter * (2u - 1)`` with ``u``
+            from the cell's fluid stream.
+    """
+
+    def __init__(self, sim: Simulator, cell: Cell, n_ues: int,
+                 demand_bps_per_ue: float, epoch_s: float = 0.1,
+                 rep_ues: int = 8, radius_m: float = 600.0,
+                 jitter: float = 0.0) -> None:
+        if n_ues < 0:
+            raise ValueError("background population must be >= 0")
+        if epoch_s <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.sim = sim
+        self.cell = cell
+        self.n_ues = n_ues
+        self.demand_bps_per_ue = demand_bps_per_ue
+        self.epoch_s = epoch_s
+        self.jitter = jitter
+        self.name = f"fluid:{cell.name}"
+        self.offered_bits = 0.0
+        self.served_bits = 0.0
+        self.epochs = 0
+        self._horizon_s: Optional[float] = None
+        self._rng = sim.rng(self.name)
+        reps = min(rep_ues, n_ues) if n_ues else 0
+        center = cell.position
+        for index in range(reps):
+            # sqrt for area-uniform placement, same recipe as
+            # geo.uniform_disk_placement but on the cell's own stream
+            r = radius_m * math.sqrt(self._rng.random())
+            theta = 2.0 * math.pi * self._rng.random()
+            radio = Radio(position=Point(center.x + r * math.cos(theta),
+                                         center.y + r * math.sin(theta)),
+                          tx_power_dbm=23.0, height_m=1.5)
+            cell.add_ue(UeRadioContext(ue_id=f"{self.name}#{index}",
+                                       radio=radio))
+        self._reps = reps
+
+    def start(self, horizon_s: float) -> None:
+        """Begin integrating; the first epoch closes at ``now + epoch_s``."""
+        self._horizon_s = horizon_s
+        if self.n_ues and self._reps:
+            self.sim.post_at(self.sim.now + self.epoch_s, self._epoch)
+
+    def _epoch(self) -> None:
+        demand_bits = self.n_ues * self.demand_bps_per_ue * self.epoch_s
+        if self.jitter:
+            demand_bits *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        # one representative TTI of the real scheduler, scaled to the epoch
+        tti_bits = sum(self.cell.schedule_tti().values())
+        capacity_bits = tti_bits * (self.epoch_s / TTI_S)
+        self.offered_bits += demand_bits
+        self.served_bits += min(demand_bits, capacity_bits)
+        self.epochs += 1
+        now = self.sim.now
+        horizon = self._horizon_s
+        if horizon is None or now + self.epoch_s <= horizon:
+            self.sim.post_at(now + self.epoch_s, self._epoch)
+
+    @property
+    def utilization(self) -> float:
+        """served/offered over the run so far (1.0 when capacity holds up)."""
+        return (self.served_bits / self.offered_bits) if self.offered_bits else 0.0

@@ -17,7 +17,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.geo.placement import road_placement, uniform_disk_placement
+from repro.geo.placement import (grid_placement, road_placement,
+                                 uniform_disk_placement)
 from repro.geo.points import Point
 
 
@@ -99,3 +100,37 @@ class FarmCorridor:
         rng = np.random.default_rng(self.seed)
         xs = rng.uniform(0.0, max(self.length_m / 2, 1.0), size=self.n_ues)
         return [Point(float(x), 20.0) for x in xs]  # 20 m off the AP line
+
+
+@dataclass
+class CityGrid:
+    """A dense urban grid of cell sites (E19's geometry).
+
+    The city-scale scenario: ``n_cells`` sites on a near-square street
+    grid at ``spacing_m``, each serving a mix of packet-fidelity
+    foreground UEs and a fluid background population. Laid out
+    row-major, so :func:`repro.geo.partition.stripe_partition` cuts the
+    city into compact vertical stripes.
+
+    Attributes:
+        n_cells: cell sites in the city.
+        spacing_m: inter-site distance (urban macro ~500 m).
+    """
+
+    n_cells: int = 100
+    spacing_m: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1 or self.spacing_m <= 0:
+            raise ValueError("need n_cells >= 1 and positive spacing")
+
+    @property
+    def n_cols(self) -> int:
+        """Grid width: the ceiling square root, so the city is near-square."""
+        return int(np.ceil(np.sqrt(self.n_cells)))
+
+    def cell_positions(self) -> List[Point]:
+        """Site positions, row-major on the grid, truncated to n_cells."""
+        cols = self.n_cols
+        rows = int(np.ceil(self.n_cells / cols))
+        return grid_placement(cols, rows, self.spacing_m)[: self.n_cells]

@@ -23,6 +23,7 @@ from repro.experiments import (
     e16_resilience,
     e17_attach_storm,
     e18_sustained_overload,
+    e19_city,
     t1_design_space,
 )
 from repro.metrics.tables import ResultTable
@@ -31,7 +32,7 @@ from repro.metrics.tables import ResultTable
 def test_registry_covers_all_ids():
     assert set(ALL_EXPERIMENTS) == {
         "T1", "F1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-        "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+        "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
         assert module.__doc__
@@ -129,3 +130,15 @@ def test_e18_smoke():
         assert aqm >= droptail
     # the AQM arm actually marked something at overload
     assert sum(marks[-3::2]) > 0
+
+
+def test_e19_smoke():
+    table = e19_city.run(n_cells=4, ue_per_cell=2, background_per_cell=12,
+                         shards=2, horizon_s=4.0, invariants=True)
+    _check(table, 2)
+    # scaling contract: local cores never attach slower than the
+    # centralized EPC, and their control traffic stays off the WAN
+    mean_ms = table.column("mean_attach_ms")
+    assert mean_ms[1] <= mean_ms[0]
+    assert table.column("wan_ctl_mb")[1] == 0
+    assert table.column("failures") == [0, 0]

@@ -1,0 +1,111 @@
+"""The fluid background tier's equivalence contract (workloads/fluid.py).
+
+For a stationary scheduler (max-C/I, static representatives, saturated
+backlogs) the epoch-scaled capacity integral must equal the dense
+per-TTI loop up to float summation order; demand-limited loads must be
+served exactly; and every draw must come off the named per-cell stream
+so the numbers are identical at any shard count.
+"""
+
+import math
+
+import pytest
+
+from repro.enodeb.cell import Cell
+from repro.mac.schedulers import MaxCiScheduler
+from repro.geo.points import Point
+from repro.phy.bands import get_band
+from repro.phy.linkbudget import LinkBudget
+from repro.phy.propagation import model_for_frequency
+from repro.simcore import Simulator
+from repro.workloads.fluid import TTI_S, FluidCellLoad
+
+
+def _cell(sim, scheduler=None):
+    band = get_band("lte5")
+    budget = LinkBudget(model_for_frequency(band.dl_mhz), band.dl_mhz,
+                        band.bandwidth_hz)
+    return Cell("cell0", band, Point(0.0, 0.0), budget,
+                scheduler=scheduler, metrics=sim.metrics)
+
+
+def test_fluid_matches_dense_tti_loop_for_stationary_scheduler():
+    # fluid: 10 epochs of 0.1 s, capacity-limited (huge demand)
+    sim = Simulator(11)
+    fluid = FluidCellLoad(sim, _cell(sim, MaxCiScheduler()), n_ues=40,
+                          demand_bps_per_ue=1e12, epoch_s=0.1)
+    fluid.start(horizon_s=1.0)
+    sim.run(until=1.0)
+    assert fluid.epochs == 10
+
+    # dense reference: same seed => same named stream => identical
+    # representative placement; run every TTI of the same second
+    sim2 = Simulator(11)
+    cell2 = _cell(sim2, MaxCiScheduler())
+    FluidCellLoad(sim2, cell2, n_ues=40, demand_bps_per_ue=1e12,
+                  epoch_s=0.1)  # places the reps; never started
+    dense_bits = 0.0
+    for _ in range(int(round(1.0 / TTI_S))):
+        dense_bits += sum(cell2.schedule_tti().values())
+
+    assert dense_bits > 0
+    # K equal additions vs one multiply by K: equal up to summation order
+    assert math.isclose(fluid.served_bits, dense_bits, rel_tol=1e-9)
+
+
+def test_fluid_demand_limited_serves_exactly_the_offer():
+    sim = Simulator(11)
+    # 0.25 is binary-exact, so the epoch clock lands on the horizon
+    fluid = FluidCellLoad(sim, _cell(sim), n_ues=20,
+                          demand_bps_per_ue=1e3, epoch_s=0.25)
+    fluid.start(horizon_s=2.0)
+    sim.run(until=2.0)
+    assert fluid.epochs == 8
+    assert fluid.offered_bits == pytest.approx(20 * 1e3 * 2.0)
+    assert fluid.served_bits == fluid.offered_bits
+    assert fluid.utilization == 1.0
+
+
+def test_fluid_is_deterministic_from_the_seed():
+    def run_once():
+        sim = Simulator(42)
+        fluid = FluidCellLoad(sim, _cell(sim), n_ues=60,
+                              demand_bps_per_ue=50e3, epoch_s=0.05,
+                              jitter=0.3)
+        fluid.start(horizon_s=1.0)
+        sim.run(until=1.0)
+        return fluid.offered_bits, fluid.served_bits, fluid.epochs
+
+    assert run_once() == run_once()
+
+
+def test_fluid_population_and_rep_cap():
+    sim = Simulator(11)
+    cell = _cell(sim)
+    fluid = FluidCellLoad(sim, cell, n_ues=3, rep_ues=8,
+                          demand_bps_per_ue=1e3)
+    assert len(cell.attached_ues) == 3  # reps capped at the population
+    fluid.start(horizon_s=1.0)
+    sim.run(until=1.0)
+    assert fluid.epochs > 0
+
+    sim = Simulator(11)
+    cell = _cell(sim)
+    empty = FluidCellLoad(sim, cell, n_ues=0, demand_bps_per_ue=1e3)
+    empty.start(horizon_s=1.0)
+    sim.run(until=1.0)
+    assert empty.epochs == 0
+    assert empty.utilization == 0.0
+
+
+def test_fluid_validations():
+    sim = Simulator(11)
+    cell = _cell(sim)
+    with pytest.raises(ValueError, match="population"):
+        FluidCellLoad(sim, cell, n_ues=-1, demand_bps_per_ue=1e3)
+    with pytest.raises(ValueError, match="epoch"):
+        FluidCellLoad(sim, cell, n_ues=1, demand_bps_per_ue=1e3,
+                      epoch_s=0.0)
+    with pytest.raises(ValueError, match="jitter"):
+        FluidCellLoad(sim, cell, n_ues=1, demand_bps_per_ue=1e3,
+                      jitter=1.0)
